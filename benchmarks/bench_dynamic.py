@@ -1,0 +1,32 @@
+"""Benchmark E6: the dynamic k-selection extension (paper's future work).
+
+Measures makespan and per-message latency of the paper's protocols under
+Poisson and bursty arrivals (node-level engine), writing the table to
+``benchmark_results/dynamic.md``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.dynamic import run_dynamic_experiment
+from repro.util.tables import format_markdown_table
+
+
+def test_dynamic_arrivals(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_dynamic_experiment,
+        kwargs={"k": 96, "runs": max(bench_runs(), 2), "seed": 23},
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["protocol", "arrivals", "k", "mean makespan", "mean latency", "p90 latency",
+               "unsolved runs"]
+    rows = [
+        [cell.protocol_label, cell.arrivals_description, cell.k, f"{cell.makespan.mean:.1f}",
+         f"{cell.latency.mean:.1f}", f"{cell.latency.p90:.1f}", cell.unsolved_runs]
+        for cell in result.cells
+    ]
+    (results_dir / "dynamic.md").write_text(
+        "# Dynamic k-selection (extension E6)\n\n" + format_markdown_table(headers, rows) + "\n"
+    )
+    assert all(cell.unsolved_runs == 0 for cell in result.cells)

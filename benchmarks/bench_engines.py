@@ -1,0 +1,118 @@
+"""Benchmark E5: engine equivalence and throughput.
+
+DESIGN.md justifies using specialised engines (fair, window) instead of the
+node-level reference for the large sweeps.  This benchmark quantifies both
+sides of that decision:
+
+* **fidelity** — the cross-engine statistical comparison at small k, and
+* **throughput** — simulated slots per second for each engine at a size where
+  all three finish quickly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_runs
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.fair_engine import FairEngine
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.validation import compare_engines
+from repro.engine.window_engine import WindowEngine
+from repro.util.rng import derive_seeds
+from repro.util.tables import format_markdown_table
+
+
+def _throughput(engine, protocol, k: int, runs: int) -> tuple[float, float]:
+    """Return (total slots simulated, mean makespan) over ``runs`` runs."""
+    slots = 0
+    makespans = []
+    for seed in derive_seeds(3, runs):
+        result = engine.simulate(protocol, k, seed=seed)
+        slots += result.slots_simulated
+        makespans.append(result.makespan)
+    return float(slots), sum(makespans) / len(makespans)
+
+
+def test_fair_engine_throughput(benchmark, results_dir):
+    """Slots/second of the O(1)-per-slot fair engine on One-fail Adaptive."""
+    k = 20_000
+    runs = max(bench_runs(), 2)
+    slots, mean_makespan = benchmark.pedantic(
+        _throughput, args=(FairEngine(), OneFailAdaptive(), k, runs), rounds=1, iterations=1
+    )
+    rate = slots / benchmark.stats.stats.total
+    (results_dir / "engine_fair_throughput.md").write_text(
+        "# Fair engine throughput\n\n"
+        + format_markdown_table(
+            ["k", "runs", "slots simulated", "slots/second", "mean makespan"],
+            [[k, runs, int(slots), f"{rate:,.0f}", f"{mean_makespan:.0f}"]],
+        )
+        + "\n"
+    )
+    assert mean_makespan >= k
+
+
+def test_window_engine_throughput(benchmark, results_dir):
+    """Slots/second of the balls-in-bins window engine on Exp Back-on/Back-off."""
+    k = 200_000
+    runs = max(bench_runs(), 2)
+    slots, mean_makespan = benchmark.pedantic(
+        _throughput, args=(WindowEngine(), ExpBackonBackoff(), k, runs), rounds=1, iterations=1
+    )
+    rate = slots / benchmark.stats.stats.total
+    (results_dir / "engine_window_throughput.md").write_text(
+        "# Window engine throughput\n\n"
+        + format_markdown_table(
+            ["k", "runs", "slots simulated", "slots/second", "mean makespan"],
+            [[k, runs, int(slots), f"{rate:,.0f}", f"{mean_makespan:.0f}"]],
+        )
+        + "\n"
+    )
+    assert mean_makespan >= k
+
+
+def test_slot_engine_throughput(benchmark, results_dir):
+    """Slots/second of the exact node-level engine (the reference, much slower)."""
+    k = 300
+    runs = max(bench_runs(), 2)
+    slots, mean_makespan = benchmark.pedantic(
+        _throughput, args=(SlotEngine(), OneFailAdaptive(), k, runs), rounds=1, iterations=1
+    )
+    rate = slots / benchmark.stats.stats.total
+    (results_dir / "engine_slot_throughput.md").write_text(
+        "# Node-level engine throughput\n\n"
+        + format_markdown_table(
+            ["k", "runs", "slots simulated", "slots/second", "mean makespan"],
+            [[k, runs, int(slots), f"{rate:,.0f}", f"{mean_makespan:.0f}"]],
+        )
+        + "\n"
+    )
+    assert mean_makespan >= k
+
+
+def test_engine_equivalence(benchmark, results_dir):
+    """Statistical agreement of the specialised engines with the node-level one."""
+
+    def compare_all():
+        return [
+            compare_engines(FairEngine(), SlotEngine(), OneFailAdaptive(), k=25, runs=40,
+                            root_seed=1),
+            compare_engines(WindowEngine(), SlotEngine(), ExpBackonBackoff(), k=25, runs=40,
+                            root_seed=2),
+        ]
+
+    comparisons = benchmark.pedantic(compare_all, rounds=1, iterations=1)
+    rows = [
+        [c.protocol, c.k, c.runs, f"{c.mean_a:.1f}", f"{c.mean_b:.1f}", f"{c.z_score:.2f}",
+         "yes" if c.compatible else "NO"]
+        for c in comparisons
+    ]
+    (results_dir / "engine_equivalence.md").write_text(
+        "# Engine equivalence (specialised vs node-level)\n\n"
+        + format_markdown_table(
+            ["protocol", "k", "runs", "mean (specialised)", "mean (node-level)", "z", "compatible"],
+            rows,
+        )
+        + "\n"
+    )
+    assert all(c.compatible for c in comparisons)

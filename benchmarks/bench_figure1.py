@@ -1,0 +1,57 @@
+"""Benchmark E1: regenerate Figure 1 (average steps to solve k-selection vs k).
+
+The benchmark times one complete Figure 1 sweep (all five curves of Section 5
+at the configured scale) and writes the reproduced series — the data behind
+the paper's log-log plot — to ``benchmark_results/figure1.md`` together with
+an ASCII rendering of the figure.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_max_k, bench_runs
+from repro.experiments.config import ExperimentConfig, paper_k_values, paper_protocol_suite
+from repro.experiments.export import write_series_dat
+from repro.experiments.figure1 import reproduce_figure1
+from repro.util.tables import format_markdown_table
+
+
+def _run_sweep():
+    config = ExperimentConfig(
+        k_values=paper_k_values(max_k=bench_max_k()),
+        runs=bench_runs(),
+        seed=2011,
+    )
+    return reproduce_figure1(config=config)
+
+
+def test_figure1_reproduction(benchmark, results_dir):
+    """Time the Figure 1 sweep and write the reproduced curves."""
+    figure = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    specs = paper_protocol_suite()
+    labels = {spec.key: spec.label for spec in specs}
+    k_values = sorted({k for key in figure.series for k in figure.series[key][0]})
+    headers = ["k"] + [labels[spec.key] for spec in specs]
+    rows = []
+    for k in k_values:
+        row = [k]
+        for spec in specs:
+            ks, means = figure.series[spec.key]
+            row.append(f"{means[ks.index(k)]:.1f}" if k in ks else "-")
+        rows.append(row)
+
+    report = (
+        "# Figure 1 (reproduced): steps to solve static k-selection, per number of nodes k\n\n"
+        f"runs per point: {bench_runs()}, max k: {bench_max_k()}\n\n"
+        + format_markdown_table(headers, rows)
+        + "\n\n```\n"
+        + figure.render_plot(width=70, height=22)
+        + "\n```\n"
+    )
+    (results_dir / "figure1.md").write_text(report)
+    write_series_dat(figure.sweep, results_dir / "figure1_series")
+
+    # Sanity: every curve was measured at every k and makespans exceed k.
+    for key, (ks, means) in figure.series.items():
+        assert ks == k_values
+        assert all(mean >= k for mean, k in zip(means, ks)), key

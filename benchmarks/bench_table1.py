@@ -1,0 +1,71 @@
+"""Benchmark E2: regenerate Table 1 (steps/nodes ratio per k and per protocol).
+
+Reuses the session-level Figure 1 sweep (Table 1 is the same data divided by
+k) and writes both the reproduced table and the measured-vs-paper comparison
+to ``benchmark_results/``.  The timed portion is the ratio aggregation; the
+heavy sweep itself is timed by ``bench_figure1.py``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_max_k, bench_runs
+from repro.experiments.config import paper_protocol_suite
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.util.tables import format_markdown_table
+
+
+def _build_table(figure1_sweep):
+    specs = paper_protocol_suite()
+    sweep = figure1_sweep.sweep
+    k_values = list(sweep.config.k_values)
+    headers = ["Protocol"] + [str(k) for k in k_values] + ["Analysis"]
+    rows = []
+    for spec in specs:
+        row = [spec.label]
+        for k in k_values:
+            row.append(f"{sweep.cell(spec.key, k).mean_ratio:.1f}")
+        row.append(spec.analysis_text())
+        rows.append(row)
+    return headers, rows, k_values, specs, sweep
+
+
+def test_table1_reproduction(benchmark, results_dir, figure1_sweep):
+    """Aggregate the sweep into Table 1 and compare with the paper's values."""
+    headers, rows, k_values, specs, sweep = benchmark.pedantic(
+        _build_table, args=(figure1_sweep,), rounds=1, iterations=1
+    )
+
+    comparison_headers = ["Protocol", "k", "measured steps/k", "paper steps/k"]
+    comparison_rows = []
+    for spec in specs:
+        reference = PAPER_TABLE1.get(spec.key, {})
+        for k in k_values:
+            paper_value = reference.get(k, "-")
+            comparison_rows.append(
+                [
+                    spec.label,
+                    k,
+                    f"{sweep.cell(spec.key, k).mean_ratio:.1f}",
+                    paper_value if isinstance(paper_value, str) else f"{paper_value:.1f}",
+                ]
+            )
+
+    report = (
+        "# Table 1 (reproduced): ratio steps/nodes as a function of the number of nodes k\n\n"
+        f"runs per point: {bench_runs()}, max k: {bench_max_k()}\n\n"
+        + format_markdown_table(headers, rows)
+        + "\n\n## Measured vs paper\n\n"
+        + format_markdown_table(comparison_headers, comparison_rows)
+        + "\n"
+    )
+    (results_dir / "table1.md").write_text(report)
+
+    # Sanity checks on the headline shape of Table 1 at the largest swept k:
+    # One-fail Adaptive's ratio sits near its analysis constant of 7.4 from
+    # k >= 1000 on, and Exp Back-on/Back-off stays below its 14.9 bound.
+    largest_k = max(k_values)
+    ofa_ratio = sweep.cell("ofa", largest_k).mean_ratio
+    ebb_ratio = sweep.cell("ebb", largest_k).mean_ratio
+    if largest_k >= 1_000:
+        assert 6.0 < ofa_ratio < 9.0
+    assert ebb_ratio < 14.9

@@ -1,0 +1,42 @@
+"""Benchmark E7: predictability — makespan dispersion per protocol.
+
+Quantifies the stability claim of Section 5 ("very stable and efficient
+behavior" of the two new protocols versus the unpredictability of Log-fails
+Adaptive) by measuring the coefficient of variation of the makespan over
+independently seeded runs.  Writes ``benchmark_results/variance.md``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.variance import run_variance_experiment
+from repro.util.tables import format_markdown_table
+
+
+def test_makespan_dispersion(benchmark, results_dir):
+    runs = max(bench_runs(), 5)
+    result = benchmark.pedantic(
+        run_variance_experiment,
+        kwargs={"k_values": (1_000, 10_000), "runs": runs, "seed": 2011},
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["protocol", "k", "mean makespan", "std", "CoV", "relative spread"]
+    rows = [
+        [cell.label, cell.k, f"{cell.makespan.mean:.0f}", f"{cell.makespan.std:.0f}",
+         f"{cell.coefficient_of_variation:.4f}", f"{cell.spread:.4f}"]
+        for cell in result.cells
+    ]
+    (results_dir / "variance.md").write_text(
+        "# Predictability: makespan dispersion per protocol\n\n"
+        f"runs per cell: {runs}\n\n" + format_markdown_table(headers, rows) + "\n"
+    )
+    # The paper's stability claim, in its weakest testable form: the new
+    # protocols' dispersion at k = 10^4 is below 5%, and Log-fails Adaptive's
+    # is larger than One-fail Adaptive's.
+    ofa = result.cell("ofa", 10_000).coefficient_of_variation
+    ebb = result.cell("ebb", 10_000).coefficient_of_variation
+    lfa = result.cell("lfa-xt2", 10_000).coefficient_of_variation
+    assert ofa < 0.05
+    assert ebb < 0.05
+    assert lfa > ofa

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` may not
+be able to build an editable wheel); an installed ``repro`` takes precedence
+because site-packages appears earlier on ``sys.path`` only when the editable
+install is present.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

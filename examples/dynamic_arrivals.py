@@ -1,0 +1,44 @@
+"""Dynamic k-selection: the paper's open problem, exercised on its protocols.
+
+The paper analyses batched (static) arrivals and leaves the dynamic version —
+messages arriving over time, statistically or adversarially — as future work
+(Section 6).  This example runs One-fail Adaptive and Exp Back-on/Back-off
+under Poisson and bursty arrival processes using the exact node-level
+simulator, and reports both the makespan and the per-message delivery latency.
+
+Because arrival times differ across nodes, the shared-state (fair) and
+balls-in-bins (window) reductions no longer apply, so this example uses the
+node-level engine and keeps k small.
+
+Run with::
+
+    python examples/dynamic_arrivals.py [k] [runs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.dynamic import run_dynamic_experiment
+
+
+def main() -> int:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    print(f"Dynamic k-selection with k = {k} messages, {runs} runs per cell")
+    print("(node-level simulation; latency = delivery slot - arrival slot)")
+    print()
+    result = run_dynamic_experiment(k=k, runs=runs)
+    print(result.render())
+    print()
+    print(
+        "Batched (bursty) arrivals stress the protocols exactly like the static\n"
+        "problem; smooth Poisson arrivals keep the instantaneous contention low, so\n"
+        "per-message latency stays far below the static makespan/k ratio."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

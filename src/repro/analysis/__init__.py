@@ -1,0 +1,49 @@
+"""Probabilistic analysis toolkit.
+
+The paper's proofs rest on two standard tools — balls-in-bins occupancy
+arguments (Lemma 1) and Chernoff–Hoeffding concentration bounds (Lemmas 1 and
+5).  This package implements those tools as reusable, tested functions, both
+so the theoretical quantities can be checked numerically against simulation
+(see ``tests/analysis``) and so the experiment harness can annotate its output
+with the bounds the paper predicts.
+
+* :mod:`repro.analysis.balls_in_bins` — singleton-occupancy statistics of
+  dropping m balls into w bins.
+* :mod:`repro.analysis.chernoff` — the concentration inequalities used in the
+  proofs, including the Poissonisation transfer factor.
+* :mod:`repro.analysis.statistics` — descriptive statistics of makespan
+  samples (the quantities reported in Figure 1 / Table 1).
+
+Protocol-specific closed forms (Theorem 1, Theorem 2, the Table 1 "Analysis"
+column) live next to the protocols in :mod:`repro.core.analysis`.
+"""
+
+from repro.analysis.balls_in_bins import (
+    collision_probability_upper_bound,
+    expected_singletons,
+    sample_singletons,
+    singleton_fraction_lower_tail,
+    singleton_probability,
+)
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_bound,
+    poissonisation_factor,
+)
+from repro.analysis.statistics import RunStatistics, summarize_makespans, summarize_ratios
+
+__all__ = [
+    "expected_singletons",
+    "singleton_probability",
+    "sample_singletons",
+    "singleton_fraction_lower_tail",
+    "collision_probability_upper_bound",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "hoeffding_bound",
+    "poissonisation_factor",
+    "RunStatistics",
+    "summarize_makespans",
+    "summarize_ratios",
+]

@@ -1,0 +1,111 @@
+"""Balls-in-bins occupancy statistics (the combinatorial heart of Lemma 1).
+
+Exp Back-on/Back-off is analysed by viewing a contention window of ``w`` slots
+with ``m`` active stations as ``m`` balls dropped uniformly at random into
+``w`` bins; a station is delivered exactly when its ball is alone in its bin.
+Lemma 1 of the paper lower-bounds the number of singleton bins.  The functions
+here provide the exact and asymptotic quantities involved, plus a Monte-Carlo
+sampler used by the property-based tests to confirm the analytical formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "singleton_probability",
+    "expected_singletons",
+    "singleton_fraction_lower_tail",
+    "collision_probability_upper_bound",
+    "sample_singletons",
+]
+
+
+def singleton_probability(m: int, w: int) -> float:
+    """Probability that a *given* ball is alone in its bin.
+
+    With ``m`` balls and ``w`` bins this is ``(1 - 1/w)^(m-1)``: the ball
+    lands somewhere, and each of the other ``m − 1`` balls must avoid that
+    bin.  For ``w = m`` the paper lower-bounds it by ``1/e``.
+    """
+    check_positive_int("m", m)
+    check_positive_int("w", w)
+    if m == 1:
+        return 1.0
+    return (1.0 - 1.0 / w) ** (m - 1)
+
+
+def expected_singletons(m: int, w: int) -> float:
+    """Expected number of singleton bins: ``m (1 - 1/w)^(m-1)``.
+
+    For ``w = m`` and large ``m`` this tends to ``m/e``, the quantity the
+    paper calls ``µ = E[X] = m/e`` (in its Poissonised form).
+    """
+    return m * singleton_probability(m, w)
+
+
+def singleton_fraction_lower_tail(m: int, delta: float, w: int | None = None) -> float:
+    """Upper bound on ``P(singletons ≤ δ·m)`` following the proof of Lemma 1.
+
+    The proof Poissonises the occupancy (independent Poisson(m/w) loads),
+    applies a Chernoff–Hoeffding lower-tail bound to the number of singleton
+    bins, and transfers back to the exact model at the cost of a factor
+    ``e·sqrt(m)``.  For ``w = m`` (the worst case used in the lemma) the bound
+    reads::
+
+        P(X ≤ δ m) ≤ exp(-m (1 - eδ)² / (2e)) · e·sqrt(m)
+
+    The returned value is clipped to 1.
+    """
+    check_positive_int("m", m)
+    if w is None:
+        w = m
+    check_positive_int("w", w)
+    if w < m:
+        raise ValueError(f"Lemma 1 requires w >= m, got w={w} < m={m}")
+    if not 0.0 < delta < 1.0 / math.e:
+        raise ValueError(f"delta must lie in (0, 1/e), got {delta}")
+    poisson_tail = math.exp(-m * (1.0 - math.e * delta) ** 2 / (2.0 * math.e))
+    return min(1.0, poisson_tail * math.e * math.sqrt(m))
+
+
+def collision_probability_upper_bound(m: int, w: int) -> float:
+    """Union bound of Theorem 2: ``P(any slot gets ≥ 2 balls) ≤ C(m, 2)/w``.
+
+    Used in the analysis of the phase after the contention has dropped to at
+    most ``τ`` messages: with a window much larger than the residual
+    contention, with high probability every remaining station transmits alone.
+    """
+    check_positive_int("m", m)
+    check_positive_int("w", w)
+    if m < 2:
+        return 0.0
+    return min(1.0, m * (m - 1) / 2.0 / w)
+
+
+def sample_singletons(
+    m: int,
+    w: int,
+    runs: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Monte-Carlo sample of the number of singleton bins.
+
+    Returns an integer array of length ``runs``; each entry is the number of
+    bins containing exactly one ball after dropping ``m`` balls uniformly into
+    ``w`` bins.  Used by tests to confirm :func:`expected_singletons` and the
+    direction of :func:`singleton_fraction_lower_tail`.
+    """
+    check_positive_int("m", m)
+    check_positive_int("w", w)
+    check_positive_int("runs", runs)
+    generator = rng if rng is not None else np.random.default_rng()
+    counts = np.empty(runs, dtype=np.int64)
+    for index in range(runs):
+        occupancy = np.bincount(generator.integers(0, w, size=m), minlength=w)
+        counts[index] = int(np.count_nonzero(occupancy == 1))
+    return counts

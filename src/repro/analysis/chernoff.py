@@ -1,0 +1,71 @@
+"""Concentration inequalities used by the paper's proofs.
+
+Two flavours appear in the paper:
+
+* the multiplicative Chernoff–Hoeffding lower/upper tails for sums of
+  independent indicator (or Poisson) variables — used in Lemma 1 (singleton
+  bins) and Lemma 5 (messages delivered per sub-round), and
+* the *Poissonisation* transfer principle (Mitzenmacher & Upfal, Theorem
+  5.10): any event with probability ``p`` in the Poissonised balls-in-bins
+  model has probability at most ``p·e·sqrt(m)`` in the exact model.
+
+These are small formulas, but having them as named, tested functions keeps the
+analysis code in :mod:`repro.core.analysis` readable and lets property-based
+tests check them against brute-force computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "hoeffding_bound",
+    "poissonisation_factor",
+]
+
+
+def chernoff_lower_tail(mu: float, phi: float) -> float:
+    """Bound ``P(X ≤ (1 − φ)µ) ≤ exp(−φ²µ/2)`` for ``0 < φ < 1``.
+
+    This is the form used in Lemma 5 of the paper (with ``φ = 1/6``) to show
+    each analysis sub-round delivers enough messages.
+    """
+    check_positive("mu", mu)
+    if not 0.0 < phi < 1.0:
+        raise ValueError(f"phi must lie in (0, 1), got {phi}")
+    return math.exp(-phi * phi * mu / 2.0)
+
+
+def chernoff_upper_tail(mu: float, phi: float) -> float:
+    """Bound ``P(X ≥ (1 + φ)µ) ≤ exp(−φ²µ/3)`` for ``0 < φ ≤ 1``."""
+    check_positive("mu", mu)
+    if not 0.0 < phi <= 1.0:
+        raise ValueError(f"phi must lie in (0, 1], got {phi}")
+    return math.exp(-phi * phi * mu / 3.0)
+
+
+def hoeffding_bound(n: int, t: float) -> float:
+    """Hoeffding's inequality for ``n`` independent variables in [0, 1].
+
+    ``P(|X − E[X]| ≥ t·n) ≤ 2·exp(−2 t² n)``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    check_positive("t", t)
+    return min(1.0, 2.0 * math.exp(-2.0 * t * t * n))
+
+
+def poissonisation_factor(m: int) -> float:
+    """The transfer factor ``e·sqrt(m)`` from the Poissonised to the exact model.
+
+    "any event that takes place with probability p in the Poisson case takes
+    place with probability at most p·e·sqrt(m) in the exact case" (proof of
+    Lemma 1, citing Mitzenmacher & Upfal).
+    """
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    return math.e * math.sqrt(m)

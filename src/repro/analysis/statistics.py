@@ -1,0 +1,110 @@
+"""Descriptive statistics of simulation runs.
+
+The paper's Figure 1 plots the *average* of 10 runs per point and Table 1
+reports the average divided by k.  This module computes those aggregates plus
+the dispersion measures (standard deviation, normal-approximation confidence
+interval, percentiles) that EXPERIMENTS.md reports alongside, since one of the
+paper's qualitative claims — Log-fails Adaptive is "less predictable" than the
+new protocols — is a claim about dispersion, not just about means.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["RunStatistics", "summarize_makespans", "summarize_ratios"]
+
+#: Two-sided 95% normal quantile used for the confidence interval.
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Aggregate of a sample of makespans (or ratios) for one (protocol, k) cell."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    ci_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative dispersion (std/mean); 0 when the mean is 0."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "p90": self.p90,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already sorted sequence."""
+    if not ordered:
+        raise ValueError("cannot take the percentile of an empty sample")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def summarize_makespans(samples: Sequence[float]) -> RunStatistics:
+    """Summarise a sample of makespans (or any positive metric)."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample")
+    values = sorted(float(value) for value in samples)
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+        std = math.sqrt(variance)
+        ci_half_width = _Z_95 * std / math.sqrt(count)
+    else:
+        std = 0.0
+        ci_half_width = 0.0
+    return RunStatistics(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=values[0],
+        maximum=values[-1],
+        median=_percentile(values, 0.5),
+        p90=_percentile(values, 0.9),
+        ci_half_width=ci_half_width,
+    )
+
+
+def summarize_ratios(makespans: Sequence[float], k: int) -> RunStatistics:
+    """Summarise the steps/k ratios of a sample of makespans (Table 1's metric)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return summarize_makespans([value / k for value in makespans])

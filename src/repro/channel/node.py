@@ -1,0 +1,157 @@
+"""Station (node) state machine used by the exact node-level simulator.
+
+A node in the paper's model is in one of two states: *active* while it holds a
+message to deliver, *idle* otherwise.  A node becomes active when a message
+arrives (for static k-selection, all k messages arrive in one batch at slot 0)
+and becomes idle as soon as its transmission succeeds, which the model assumes
+is acknowledged implicitly.
+
+The node object couples that state machine with a per-node protocol instance
+and with the per-node random stream, so the
+:class:`~repro.channel.radio_network.RadioNetwork` simulator can remain a thin
+orchestration loop.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.model import Observation
+from repro.protocols.base import Protocol
+
+__all__ = ["Message", "NodeState", "Node"]
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A piece of information assigned to a node by an external agent.
+
+    Attributes
+    ----------
+    message_id:
+        Globally unique identifier (unique within a process).
+    origin:
+        Identifier of the node the message was assigned to, or ``None`` if it
+        has not been assigned yet.
+    arrival_slot:
+        Slot at which the message arrived (0 for batched/static arrivals).
+    payload:
+        Free-form payload; the simulator never inspects it.
+    """
+
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+    origin: int | None = None
+    arrival_slot: int = 0
+    payload: object = None
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a station."""
+
+    #: No message assigned yet (relevant only for dynamic arrivals).
+    DORMANT = "dormant"
+    #: Holds a message and contends for the channel.
+    ACTIVE = "active"
+    #: Message delivered; the node no longer transmits.
+    IDLE = "idle"
+
+
+class Node:
+    """A station of the single-hop Radio Network.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier used only by the simulator and traces; the protocols never
+        see it (the model gives nodes no labels).
+    protocol:
+        A fresh protocol instance governing this node's transmissions.
+    rng:
+        The node's private random stream.
+    """
+
+    def __init__(self, node_id: int, protocol: Protocol, rng: np.random.Generator) -> None:
+        self.node_id = node_id
+        self.protocol = protocol
+        self.rng = rng
+        self.state = NodeState.DORMANT
+        self.message: Message | None = None
+        self.activation_slot: int | None = None
+        self.delivery_slot: int | None = None
+        self.transmissions = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def is_active(self) -> bool:
+        """Whether the node currently contends for the channel."""
+        return self.state is NodeState.ACTIVE
+
+    def activate(self, message: Message, slot: int) -> None:
+        """Handle a message arrival: the node becomes active and (re)starts its protocol."""
+        if self.state is NodeState.ACTIVE:
+            raise RuntimeError(
+                f"node {self.node_id} received a message while still holding one "
+                "(the static k-selection model assigns one message per node)"
+            )
+        self.message = message
+        self.activation_slot = slot
+        self.delivery_slot = None
+        self.state = NodeState.ACTIVE
+        self.protocol.reset()
+
+    # ------------------------------------------------------------ slot phases
+    def decide_transmission(self, slot: int) -> bool:
+        """Phase 1 of a slot: ask the protocol whether to transmit."""
+        if not self.is_active:
+            return False
+        transmit = self.protocol.will_transmit(slot, self.rng)
+        if transmit:
+            self.transmissions += 1
+        return transmit
+
+    def receive_feedback(self, observation: Observation) -> None:
+        """Phase 2 of a slot: deliver the channel feedback to the protocol.
+
+        If the observation carries the acknowledgement of this node's own
+        message, the node becomes idle (Task 3 of Algorithm 1: "upon message
+        delivery stop"); the protocol is still notified first so that traces
+        of its final state are meaningful.
+        """
+        if not self.is_active:
+            return
+        self.protocol.notify(observation)
+        if observation.transmitted and not observation.delivered and not observation.received:
+            # The node transmitted but nobody got the message: with at least
+            # one other transmitter this was a collision.  (Under the paper's
+            # feedback model the node itself cannot distinguish this from its
+            # ACK being lost, but the simulator can, and the counter is useful
+            # for diagnostics.)
+            self.collisions += 1
+        if observation.delivered:
+            self.state = NodeState.IDLE
+            self.delivery_slot = observation.slot
+
+    # ---------------------------------------------------------------- reports
+    def summary(self) -> dict[str, object]:
+        """Return a JSON-friendly summary of the node's run."""
+        return {
+            "node_id": self.node_id,
+            "state": self.state.value,
+            "activation_slot": self.activation_slot,
+            "delivery_slot": self.delivery_slot,
+            "transmissions": self.transmissions,
+            "collisions": self.collisions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Node(id={self.node_id}, state={self.state.value}, "
+            f"protocol={type(self.protocol).__name__})"
+        )

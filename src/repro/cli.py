@@ -1,0 +1,149 @@
+"""Unified command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``simulate``  — run one protocol on one network size and print the result;
+* ``figure1``   — reproduce Figure 1 (delegates to
+  :mod:`repro.experiments.figure1`);
+* ``table1``    — reproduce Table 1 (delegates to
+  :mod:`repro.experiments.table1`);
+* ``protocols`` — list the registered protocols and the knowledge they need.
+
+The figure/table subcommands accept the same flags as their ``python -m``
+counterparts (``--max-k``, ``--runs``, ``--seed``, ``--output-dir``,
+``--quiet``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.dispatch import simulate
+from repro.protocols.aloha import SlottedAloha
+from repro.protocols.backoff import ExponentialBackoff, LogBackoff, LogLogIteratedBackoff, PolynomialBackoff
+from repro.protocols.base import Protocol, available_protocols, get_protocol_class
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+from repro.util.tables import format_text_table
+
+__all__ = ["main", "build_protocol"]
+
+
+def build_protocol(name: str, k: int, delta: float | None = None, xi_t: float = 0.5) -> Protocol:
+    """Instantiate a registered protocol with sensible evaluation parameters.
+
+    Protocols that require knowledge of the network (Log-fails Adaptive,
+    slotted ALOHA) receive the paper's parameterisation for ``k``; the
+    paper's own protocols ignore ``k`` entirely.
+    """
+    if name == OneFailAdaptive.name:
+        return OneFailAdaptive(delta=delta) if delta is not None else OneFailAdaptive()
+    if name == ExpBackonBackoff.name:
+        return ExpBackonBackoff(delta=delta) if delta is not None else ExpBackonBackoff()
+    if name == LogFailsAdaptive.name:
+        return LogFailsAdaptive.for_k(k, xi_t=xi_t)
+    if name == SlottedAloha.name:
+        return SlottedAloha(k=k)
+    if name in {
+        LogLogIteratedBackoff.name,
+        ExponentialBackoff.name,
+        PolynomialBackoff.name,
+        LogBackoff.name,
+    }:
+        return get_protocol_class(name)()
+    # Fall back to a no-argument constructor for any other registered protocol.
+    return get_protocol_class(name)()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = build_protocol(args.protocol, k=args.k, delta=args.delta, xi_t=args.xi_t)
+    result = simulate(protocol, k=args.k, seed=args.seed, engine=args.engine)
+    rows = [
+        ["protocol", protocol.label],
+        ["k", args.k],
+        ["seed", args.seed],
+        ["engine", result.engine],
+        ["solved", result.solved],
+        ["makespan (slots)", result.makespan if result.makespan is not None else "-"],
+        ["steps per node", f"{result.steps_per_node:.3f}" if result.solved else "-"],
+        ["collisions", result.collisions],
+        ["silent slots", result.silences],
+    ]
+    print(format_text_table(["metric", "value"], rows))
+    return 0 if result.solved else 1
+
+
+def _cmd_protocols(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_protocols():
+        cls = get_protocol_class(name)
+        knowledge = ", ".join(sorted(cls.requires_knowledge)) or "none"
+        rows.append([name, cls.label, knowledge])
+    print(format_text_table(["name", "label", "required knowledge"], rows))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.experiments.figure1 import main as figure1_main
+
+    return figure1_main(args.rest)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import main as table1_main
+
+    return table1_main(args.rest)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Unbounded Contention Resolution in Multiple-Access Channels'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sim = subparsers.add_parser("simulate", help="run one static k-selection instance")
+    sim.add_argument("--protocol", default=OneFailAdaptive.name, choices=available_protocols())
+    sim.add_argument("--k", type=int, default=1_000, help="number of contenders")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--engine", default="auto", choices=["auto", "fair", "window", "slot"])
+    sim.add_argument("--delta", type=float, default=None, help="protocol delta (paper default if omitted)")
+    sim.add_argument("--xi-t", dest="xi_t", type=float, default=0.5, help="xi_t for log-fails-adaptive")
+    sim.set_defaults(func=_cmd_simulate)
+
+    protocols = subparsers.add_parser("protocols", help="list registered protocols")
+    protocols.set_defaults(func=_cmd_protocols)
+
+    figure1 = subparsers.add_parser("figure1", help="reproduce Figure 1 (forwards remaining flags)")
+    figure1.add_argument("rest", nargs=argparse.REMAINDER)
+    figure1.set_defaults(func=_cmd_figure1)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1 (forwards remaining flags)")
+    table1.add_argument("rest", nargs=argparse.REMAINDER)
+    table1.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    # The figure1/table1 subcommands forward *all* remaining flags to the
+    # experiment scripts; argparse's REMAINDER does not reliably capture
+    # leading optionals, so forward them before involving the parser.
+    if arguments and arguments[0] in {"figure1", "table1"}:
+        if arguments[0] == "figure1":
+            from repro.experiments.figure1 import main as forwarded
+        else:
+            from repro.experiments.table1 import main as forwarded
+        return forwarded(arguments[1:])
+    parser = build_parser()
+    args = parser.parse_args(arguments)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contributions: One-fail Adaptive and Exp Back-on/Back-off.
+
+* :mod:`repro.core.one_fail_adaptive` — Algorithm 1 of the paper, a fair
+  adaptive protocol with a continuously-updated density estimator (AT rule on
+  odd communication steps) interleaved with an inverse-logarithmic rule (BT
+  rule on even steps).  Theorem 1: ``2(δ+1)k + O(log² k)`` slots with
+  probability at least ``1 − 2/(1+k)``.
+* :mod:`repro.core.exp_backon_backoff` — Algorithm 2 of the paper, a windowed
+  sawtooth back-on/back-off protocol.  Theorem 2: ``4(1 + 1/δ)k`` slots with
+  high probability.
+* :mod:`repro.core.constants` — the admissible parameter ranges stated by the
+  theorems and the concrete values used in the paper's evaluation.
+* :mod:`repro.core.analysis` — closed-form expressions from the theorems and
+  lemmas (leading constants, thresholds, success probabilities) used to fill
+  the "Analysis" column of Table 1 and to cross-check simulations.
+"""
+
+from repro.core.constants import (
+    EBB_DELTA_DEFAULT,
+    EBB_DELTA_MAX,
+    OFA_DELTA_DEFAULT,
+    OFA_DELTA_MAX,
+    OFA_DELTA_MIN,
+)
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.core import analysis
+
+__all__ = [
+    "OneFailAdaptive",
+    "ExpBackonBackoff",
+    "analysis",
+    "OFA_DELTA_DEFAULT",
+    "OFA_DELTA_MIN",
+    "OFA_DELTA_MAX",
+    "EBB_DELTA_DEFAULT",
+    "EBB_DELTA_MAX",
+]

@@ -1,0 +1,67 @@
+"""Parameter ranges and defaults from the paper.
+
+The two theorems constrain the protocols' single tunable constant ``δ``:
+
+* **One-fail Adaptive** (Theorem 1): ``e < δ ≤ Σ_{j=1..5} (5/6)^j ≈ 2.9906``.
+  The evaluation (Section 5) uses ``δ = 2.72``.
+* **Exp Back-on/Back-off** (Theorem 2): ``0 < δ < 1/e ≈ 0.3679``.  The
+  evaluation uses ``δ = 0.366``.
+
+The evaluation's parameters for the two baselines are also recorded here so
+the experiment harness has a single source of truth:
+
+* **Log-fails Adaptive**: ``ξδ = ξβ = 0.1``, ``ε ≈ 1/(k+1)``, ``ξt ∈ {1/2, 1/10}``.
+* **Loglog-iterated Back-off**: ``r = 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "OFA_DELTA_MIN",
+    "OFA_DELTA_MAX",
+    "OFA_DELTA_DEFAULT",
+    "EBB_DELTA_MAX",
+    "EBB_DELTA_DEFAULT",
+    "LFA_XI_DELTA_DEFAULT",
+    "LFA_XI_BETA_DEFAULT",
+    "LFA_XI_T_VALUES",
+    "LLIB_R_DEFAULT",
+    "ofa_delta_upper_bound",
+]
+
+
+def ofa_delta_upper_bound() -> float:
+    """Upper end of the admissible range for One-fail Adaptive's ``δ``.
+
+    Theorem 1 requires ``δ ≤ Σ_{j=1..5} (5/6)^j``; the sum evaluates to
+    approximately 2.9906.
+    """
+    return sum((5.0 / 6.0) ** j for j in range(1, 6))
+
+
+#: Lower bound (exclusive) for One-fail Adaptive's δ: Euler's number.
+OFA_DELTA_MIN: float = math.e
+
+#: Upper bound (inclusive) for One-fail Adaptive's δ: Σ_{j=1..5} (5/6)^j.
+OFA_DELTA_MAX: float = ofa_delta_upper_bound()
+
+#: δ used for One-fail Adaptive in the paper's simulations (Section 5).
+OFA_DELTA_DEFAULT: float = 2.72
+
+#: Upper bound (exclusive) for Exp Back-on/Back-off's δ: 1/e.
+EBB_DELTA_MAX: float = 1.0 / math.e
+
+#: δ used for Exp Back-on/Back-off in the paper's simulations (Section 5).
+EBB_DELTA_DEFAULT: float = 0.366
+
+#: Slack parameters of Log-fails Adaptive used in the paper's simulations.
+LFA_XI_DELTA_DEFAULT: float = 0.1
+LFA_XI_BETA_DEFAULT: float = 0.1
+
+#: The two interleaving parameters of Log-fails Adaptive compared in Section 5.
+LFA_XI_T_VALUES: tuple[float, float] = (0.5, 0.1)
+
+#: Back-off base used for Loglog-iterated Back-off in the paper's simulations.
+LLIB_R_DEFAULT: int = 2

@@ -1,0 +1,41 @@
+"""Simulation engines.
+
+Three engines produce makespan samples of the *same* stochastic process — the
+paper's channel model — at very different costs:
+
+* :class:`~repro.engine.slot_engine.SlotEngine` — wraps the exact node-level
+  :class:`~repro.channel.radio_network.RadioNetwork`; O(active nodes) per
+  slot.  Works for every protocol and is the reference the other engines are
+  validated against.
+* :class:`~repro.engine.fair_engine.FairEngine` — for
+  :class:`~repro.protocols.base.FairProtocol`: because every active station
+  transmits with the same probability ``p``, the slot outcome distribution is
+  ``P(success) = m·p·(1−p)^{m−1}``, ``P(silence) = (1−p)^m``, so one uniform
+  draw per slot suffices.  O(1) per slot regardless of k.
+* :class:`~repro.engine.window_engine.WindowEngine` — for
+  :class:`~repro.protocols.base.WindowedProtocol`: a whole contention window
+  is one balls-in-bins experiment, vectorised with numpy.  O(window) work in
+  numpy per window, which in practice makes runs with k = 10⁷ take seconds.
+
+:func:`simulate` dispatches to the cheapest applicable engine, and
+:mod:`repro.engine.validation` provides the statistical cross-checks used by
+the test suite and the engine ablation benchmark.
+"""
+
+from repro.engine.result import SimulationResult
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.fair_engine import FairEngine
+from repro.engine.window_engine import WindowEngine
+from repro.engine.dispatch import pick_engine, simulate
+from repro.engine.validation import compare_engines, makespan_samples
+
+__all__ = [
+    "SimulationResult",
+    "SlotEngine",
+    "FairEngine",
+    "WindowEngine",
+    "simulate",
+    "pick_engine",
+    "compare_engines",
+    "makespan_samples",
+]

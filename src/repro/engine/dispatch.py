@@ -1,0 +1,74 @@
+"""Engine selection and the one-call simulation front door.
+
+Most callers (examples, experiments, tests) just want "run protocol P with k
+contenders and seed s"; :func:`simulate` picks the cheapest engine that is
+exact for the given protocol class and returns a
+:class:`~repro.engine.result.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from repro.channel.model import ChannelModel
+from repro.channel.trace import ExecutionTrace
+from repro.engine.fair_engine import FairEngine
+from repro.engine.result import SimulationResult
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.window_engine import WindowEngine
+from repro.protocols.base import FairProtocol, Protocol, WindowedProtocol
+
+__all__ = ["pick_engine", "simulate"]
+
+_ENGINES = {
+    "slot": SlotEngine,
+    "fair": FairEngine,
+    "window": WindowEngine,
+}
+
+
+def pick_engine(protocol: Protocol, engine: str = "auto", channel: ChannelModel | None = None):
+    """Instantiate the engine to use for ``protocol``.
+
+    ``engine`` may be ``"auto"`` (default) or one of ``"slot"``, ``"fair"``,
+    ``"window"``.  ``"auto"`` selects the cheapest engine that is exact for
+    the protocol's class: the fair engine for fair protocols, the window
+    engine for windowed protocols, and the node-level engine otherwise (or
+    whenever a non-default channel model is requested, since the specialised
+    engines only implement the paper's channel).
+    """
+    if engine != "auto":
+        try:
+            engine_cls = _ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
+            ) from None
+        return engine_cls(channel=channel) if channel is not None else engine_cls()
+
+    default_channel = channel is None or channel == ChannelModel()
+    if default_channel and isinstance(protocol, FairProtocol):
+        return FairEngine(channel=channel) if channel is not None else FairEngine()
+    if default_channel and isinstance(protocol, WindowedProtocol):
+        return WindowEngine(channel=channel) if channel is not None else WindowEngine()
+    return SlotEngine(channel=channel) if channel is not None else SlotEngine()
+
+
+def simulate(
+    protocol: Protocol,
+    k: int,
+    seed: int = 0,
+    engine: str = "auto",
+    channel: ChannelModel | None = None,
+    max_slots: int | None = None,
+    trace: ExecutionTrace | None = None,
+) -> SimulationResult:
+    """Simulate one static k-selection instance and return its result.
+
+    This is the main entry point of the library::
+
+        from repro import OneFailAdaptive, simulate
+
+        result = simulate(OneFailAdaptive(), k=1000, seed=42)
+        print(result.makespan, result.steps_per_node)
+    """
+    chosen = pick_engine(protocol, engine=engine, channel=channel)
+    return chosen.simulate(protocol, k, seed=seed, max_slots=max_slots, trace=trace)

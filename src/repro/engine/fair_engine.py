@@ -1,0 +1,171 @@
+"""O(1)-per-slot engine for fair protocols.
+
+A *fair* protocol has every active station transmit with the same probability
+``p`` in a slot, and updates its state only on information every active
+station observes identically (receptions, slot parity).  Consequently the
+number of transmitters in a slot with ``m`` active stations is
+``Binomial(m, p)`` and the slot outcome distribution is::
+
+    P(success)   = m * p * (1 - p)^(m - 1)
+    P(silence)   = (1 - p)^m
+    P(collision) = 1 - P(success) - P(silence)
+
+One uniform draw per slot therefore samples the outcome exactly, and a single
+shared protocol instance can stand in for the common state of every active
+station.  This reduces the cost of a run from O(k) to O(1) per slot — the
+difference between minutes and milliseconds for the network sizes of the
+paper's Figure 1 — without changing the distribution of the makespan, which is
+what the test suite verifies against the node-level engine.
+
+Which station delivers in a successful slot is irrelevant for the makespan
+(they are exchangeable), so station identities are not tracked.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.channel.model import ChannelModel, FeedbackModel, Observation, SlotOutcome
+from repro.channel.trace import ExecutionTrace, SlotRecord
+from repro.engine.result import SimulationResult
+from repro.protocols.base import FairProtocol
+from repro.util.validation import check_positive_int
+
+__all__ = ["FairEngine"]
+
+
+class FairEngine:
+    """Simulate a :class:`FairProtocol` with one random draw per slot."""
+
+    name = "fair"
+
+    def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
+        self.channel = channel if channel is not None else ChannelModel()
+        if self.channel.feedback is not FeedbackModel.NO_COLLISION_DETECTION:
+            raise ValueError(
+                "FairEngine models the paper's channel (no collision detection); "
+                "use SlotEngine for other feedback models"
+            )
+        if not self.channel.acknowledgements:
+            raise ValueError("FairEngine requires acknowledgements (the paper's model)")
+        self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
+
+    def simulate(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        seed: int = 0,
+        max_slots: int | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> SimulationResult:
+        """Run one batched (static) k-selection instance."""
+        check_positive_int("k", k)
+        if not isinstance(protocol, FairProtocol):
+            raise TypeError(
+                f"FairEngine requires a FairProtocol, got {type(protocol).__name__}"
+            )
+        if protocol.state_depends_on_own_transmission:
+            raise ValueError(
+                f"{type(protocol).__name__} declares per-station state that depends on its own "
+                "transmissions; the shared-state reduction of FairEngine does not apply"
+            )
+
+        shared_state = protocol.spawn()
+        cap = max_slots if max_slots is not None else self.max_slots_factor * k
+        uniform = random.Random(seed).random
+
+        remaining = k
+        slot = 0
+        successes = collisions = silences = 0
+        last_delivery = -1
+
+        while remaining > 0:
+            if slot >= cap:
+                return self._unsolved(protocol, k, slot, successes, collisions, silences, seed)
+            p = shared_state.transmission_probability(slot)
+            if p <= 0.0:
+                probability_success = 0.0
+                probability_silence = 1.0
+            elif p >= 1.0:
+                probability_success = 1.0 if remaining == 1 else 0.0
+                probability_silence = 0.0
+            else:
+                q = 1.0 - p
+                q_pow = q ** (remaining - 1)
+                probability_success = remaining * p * q_pow
+                probability_silence = q_pow * q
+
+            draw = uniform()
+            if draw < probability_success:
+                outcome = SlotOutcome.SUCCESS
+                successes += 1
+                remaining -= 1
+                last_delivery = slot
+            elif draw < probability_success + probability_silence:
+                outcome = SlotOutcome.SILENCE
+                silences += 1
+            else:
+                outcome = SlotOutcome.COLLISION
+                collisions += 1
+
+            # Feedback as seen by a surviving active station: it receives the
+            # delivered message on a success and hears noise otherwise.  Fair
+            # protocols' state must not depend on own transmissions, so the
+            # `transmitted` flag is reported as False.
+            shared_state.notify(
+                Observation(
+                    slot=slot,
+                    transmitted=False,
+                    received=outcome is SlotOutcome.SUCCESS,
+                    delivered=False,
+                )
+            )
+            if trace is not None:
+                transmitters = 1 if outcome is SlotOutcome.SUCCESS else (
+                    0 if outcome is SlotOutcome.SILENCE else 2
+                )
+                trace.append(
+                    SlotRecord(
+                        slot=slot,
+                        transmitters=transmitters,
+                        outcome=outcome,
+                        active_before=remaining + (1 if outcome is SlotOutcome.SUCCESS else 0),
+                    )
+                )
+            slot += 1
+
+        return SimulationResult(
+            solved=True,
+            makespan=last_delivery + 1,
+            k=k,
+            slots_simulated=slot,
+            successes=successes,
+            collisions=collisions,
+            silences=silences,
+            protocol=protocol.name,
+            engine=self.name,
+            seed=seed,
+        )
+
+    def _unsolved(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        slots: int,
+        successes: int,
+        collisions: int,
+        silences: int,
+        seed: int,
+    ) -> SimulationResult:
+        return SimulationResult(
+            solved=False,
+            makespan=None,
+            k=k,
+            slots_simulated=slots,
+            successes=successes,
+            collisions=collisions,
+            silences=silences,
+            protocol=protocol.name,
+            engine=self.name,
+            seed=seed,
+        )

@@ -1,0 +1,201 @@
+"""Experiment configuration and the paper's protocol suite.
+
+The evaluation of Section 5 fixes the following parameters, all of which are
+encoded here (values imported from :mod:`repro.core.constants`):
+
+* One-fail Adaptive: ``δ = 2.72``;
+* Exp Back-on/Back-off: ``δ = 0.366``;
+* Log-fails Adaptive: ``ξδ = ξβ = 0.1``, ``ε ≈ 1/(k+1)``, and two variants
+  ``ξt = 1/2`` ("Log-Fails Adaptive (2)") and ``ξt = 1/10``
+  ("Log-Fails Adaptive (10)");
+* Loglog-iterated Back-off: ``r = 2``;
+* each (protocol, k) point is the average of 10 runs;
+* k ranges over powers of ten from 10 to 10⁷.
+
+The paper's largest sizes take a long while on a single CPU with the exact
+per-slot fair engine, so the default configuration sweeps k up to ``10⁵`` and
+the ceiling can be raised via the ``REPRO_MAX_K`` environment variable or the
+``--max-k`` command-line flag of the figure/table scripts; EXPERIMENTS.md
+records which points were measured.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core import analysis as core_analysis
+from repro.core.constants import (
+    EBB_DELTA_DEFAULT,
+    LFA_XI_BETA_DEFAULT,
+    LFA_XI_DELTA_DEFAULT,
+    LLIB_R_DEFAULT,
+    OFA_DELTA_DEFAULT,
+)
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.protocols.backoff import LogLogIteratedBackoff
+from repro.protocols.base import Protocol
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+__all__ = [
+    "ProtocolSpec",
+    "ExperimentConfig",
+    "paper_k_values",
+    "paper_protocol_suite",
+    "DEFAULT_MAX_K",
+    "PAPER_MAX_K",
+    "DEFAULT_RUNS",
+]
+
+#: Number of runs averaged per (protocol, k) point in the paper.
+DEFAULT_RUNS = 10
+
+#: Largest k simulated by the paper (Figure 1 / Table 1).
+PAPER_MAX_K = 10**7
+
+#: Largest k swept by default in this reproduction (single-CPU budget).
+DEFAULT_MAX_K = 10**5
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One curve of the evaluation: a protocol family plus its parameters.
+
+    Attributes
+    ----------
+    key:
+        Short machine-friendly identifier (used in CSV columns and file names).
+    label:
+        The curve label used by the paper's figure/table.
+    factory:
+        Callable mapping ``k`` to a fresh protocol instance.  Protocols that
+        use no knowledge of ``k`` ignore the argument.
+    analysis_ratio:
+        Callable mapping ``k`` to the steps/k constant predicted by the
+        protocol's analysis, or ``None`` when the analysis only gives an
+        asymptotic order (Loglog-iterated Back-off).
+    analysis_note:
+        Text used in the Analysis column when ``analysis_ratio`` is ``None``.
+    """
+
+    key: str
+    label: str
+    factory: Callable[[int], Protocol]
+    analysis_ratio: Callable[[int], float] | None = None
+    analysis_note: str = ""
+
+    def build(self, k: int) -> Protocol:
+        """Instantiate the protocol for a network of ``k`` contenders."""
+        return self.factory(k)
+
+    def analysis_text(self, k: int | None = None, float_format: str = ".1f") -> str:
+        """Human-readable entry for the Analysis column of Table 1."""
+        if self.analysis_ratio is not None:
+            reference_k = k if k is not None else PAPER_MAX_K
+            return format(self.analysis_ratio(reference_k), float_format)
+        return self.analysis_note or "-"
+
+
+def paper_k_values(max_k: int | None = None, min_k: int = 10) -> list[int]:
+    """Powers of ten from ``min_k`` to ``max_k`` (defaults to the sweep ceiling).
+
+    ``max_k`` defaults to the ``REPRO_MAX_K`` environment variable when set,
+    otherwise to :data:`DEFAULT_MAX_K`.
+    """
+    if max_k is None:
+        max_k = int(os.environ.get("REPRO_MAX_K", DEFAULT_MAX_K))
+    if max_k < min_k:
+        raise ValueError(f"max_k={max_k} is smaller than min_k={min_k}")
+    values = []
+    exponent = int(round(math.log10(min_k)))
+    while 10**exponent <= max_k:
+        values.append(10**exponent)
+        exponent += 1
+    return values
+
+
+def paper_protocol_suite(
+    include_lfa: bool = True,
+    include_llib: bool = True,
+) -> list[ProtocolSpec]:
+    """The five curves of Figure 1, with the parameters of Section 5."""
+    suite: list[ProtocolSpec] = []
+    if include_lfa:
+        suite.append(
+            ProtocolSpec(
+                key="lfa-xt2",
+                label="Log-Fails Adaptive (2)",
+                factory=lambda k: LogFailsAdaptive.for_k(
+                    k, xi_t=0.5, xi_delta=LFA_XI_DELTA_DEFAULT, xi_beta=LFA_XI_BETA_DEFAULT
+                ),
+                analysis_ratio=lambda k: core_analysis.lfa_leading_constant(0.5),
+            )
+        )
+        suite.append(
+            ProtocolSpec(
+                key="lfa-xt10",
+                label="Log-Fails Adaptive (10)",
+                factory=lambda k: LogFailsAdaptive.for_k(
+                    k, xi_t=0.1, xi_delta=LFA_XI_DELTA_DEFAULT, xi_beta=LFA_XI_BETA_DEFAULT
+                ),
+                analysis_ratio=lambda k: core_analysis.lfa_leading_constant(0.1),
+            )
+        )
+    suite.append(
+        ProtocolSpec(
+            key="ofa",
+            label="One-Fail Adaptive",
+            factory=lambda k: OneFailAdaptive(delta=OFA_DELTA_DEFAULT),
+            analysis_ratio=lambda k: core_analysis.ofa_leading_constant(OFA_DELTA_DEFAULT),
+        )
+    )
+    suite.append(
+        ProtocolSpec(
+            key="ebb",
+            label="Exp Back-on/Back-off",
+            factory=lambda k: ExpBackonBackoff(delta=EBB_DELTA_DEFAULT),
+            analysis_ratio=lambda k: core_analysis.ebb_leading_constant(EBB_DELTA_DEFAULT),
+        )
+    )
+    if include_llib:
+        suite.append(
+            ProtocolSpec(
+                key="llib",
+                label="Loglog-Iterated Backoff",
+                factory=lambda k: LogLogIteratedBackoff(r=float(LLIB_R_DEFAULT)),
+                analysis_ratio=None,
+                analysis_note="Theta(lglg k / lglglg k)",
+            )
+        )
+    return suite
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of a Figure 1 / Table 1 style sweep."""
+
+    k_values: Sequence[int] = field(default_factory=paper_k_values)
+    runs: int = DEFAULT_RUNS
+    seed: int = 2011  # year of the paper; any fixed value works
+    max_slots_factor: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not self.k_values:
+            raise ValueError("k_values must not be empty")
+        if any(k < 1 for k in self.k_values):
+            raise ValueError(f"all k values must be positive, got {list(self.k_values)}")
+        if self.runs < 1:
+            raise ValueError(f"runs must be positive, got {self.runs}")
+        if self.max_slots_factor < 2:
+            raise ValueError(f"max_slots_factor must be at least 2, got {self.max_slots_factor}")
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "k_values": list(self.k_values),
+            "runs": self.runs,
+            "seed": self.seed,
+            "max_slots_factor": self.max_slots_factor,
+        }

@@ -1,0 +1,158 @@
+"""Dynamic k-selection extension (experiment E6).
+
+The paper analyses the *static* problem (all messages arrive in one batch) and
+names the *dynamic* problem — messages arriving over time, statistically or
+adversarially — as the main open direction (Section 6).  This experiment
+exercises the same protocols under the two dynamic arrival processes of
+:mod:`repro.channel.arrivals`:
+
+* Poisson arrivals at a configurable per-slot rate, and
+* bursty arrivals (batches of ``burst_size`` every ``gap`` slots).
+
+Because arrival times differ per node, the fair-protocol reduction no longer
+applies and the exact node-level engine is used; sizes are therefore kept
+moderate.  The reported metrics are the makespan (slot of the last delivery)
+and the mean per-message delivery latency (delivery slot − arrival slot),
+which is the quantity a dynamic analysis would bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.statistics import RunStatistics, summarize_makespans
+from repro.channel.arrivals import ArrivalProcess, BurstyArrival, PoissonArrival
+from repro.channel.radio_network import RadioNetwork
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.protocols.base import Protocol
+from repro.util.rng import derive_seeds
+from repro.util.tables import format_text_table
+
+__all__ = ["DynamicResult", "run_dynamic_experiment"]
+
+
+@dataclass(frozen=True)
+class DynamicCell:
+    """Aggregated metrics for one (protocol, arrival process) combination."""
+
+    protocol_label: str
+    arrivals_description: str
+    k: int
+    makespan: RunStatistics
+    latency: RunStatistics
+    unsolved_runs: int
+
+
+@dataclass
+class DynamicResult:
+    """Result of the dynamic-arrivals experiment."""
+
+    cells: list[DynamicCell]
+
+    def render(self) -> str:
+        headers = [
+            "protocol",
+            "arrivals",
+            "k",
+            "mean makespan",
+            "mean latency",
+            "p90 latency",
+            "unsolved",
+        ]
+        rows = [
+            [
+                cell.protocol_label,
+                cell.arrivals_description,
+                cell.k,
+                f"{cell.makespan.mean:.1f}",
+                f"{cell.latency.mean:.1f}",
+                f"{cell.latency.p90:.1f}",
+                cell.unsolved_runs,
+            ]
+            for cell in self.cells
+        ]
+        return format_text_table(headers, rows)
+
+
+def _default_protocols() -> list[tuple[str, Protocol]]:
+    return [
+        ("One-Fail Adaptive", OneFailAdaptive()),
+        ("Exp Back-on/Back-off", ExpBackonBackoff()),
+    ]
+
+
+def _default_arrivals(k: int) -> list[tuple[str, ArrivalProcess]]:
+    return [
+        ("poisson rate=0.05", PoissonArrival(k=k, rate=0.05)),
+        ("poisson rate=0.2", PoissonArrival(k=k, rate=0.2)),
+        ("bursty 4x" + str(k // 4), BurstyArrival(bursts=4, burst_size=max(k // 4, 1), gap=max(k, 1))),
+    ]
+
+
+def run_dynamic_experiment(
+    k: int = 64,
+    runs: int = 5,
+    seed: int = 23,
+    protocols: Sequence[tuple[str, Protocol]] | None = None,
+    arrival_factories: Sequence[tuple[str, ArrivalProcess]] | None = None,
+) -> DynamicResult:
+    """Measure makespan and delivery latency under dynamic arrivals.
+
+    Parameters
+    ----------
+    k:
+        Total number of messages injected per run (kept small: the node-level
+        engine is O(active nodes) per slot).
+    runs:
+        Independent repetitions per cell.
+    seed:
+        Root seed.
+    protocols, arrival_factories:
+        Optional overrides of the default protocol and arrival-process sets.
+    """
+    if k < 2:
+        raise ValueError(f"k must be at least 2, got {k}")
+    protocol_set = list(protocols) if protocols is not None else _default_protocols()
+    arrival_set = (
+        list(arrival_factories) if arrival_factories is not None else _default_arrivals(k)
+    )
+    cells: list[DynamicCell] = []
+    for protocol_index, (protocol_label, protocol) in enumerate(protocol_set):
+        for arrival_index, (arrival_label, arrivals) in enumerate(arrival_set):
+            seeds = derive_seeds(seed + 101 * protocol_index + 13 * arrival_index, runs)
+            makespans: list[float] = []
+            latencies: list[float] = []
+            unsolved = 0
+            for run_seed in seeds:
+                network = RadioNetwork(
+                    protocol=protocol,
+                    arrivals=arrivals,
+                    seed=run_seed,
+                )
+                outcome = network.run(collect_node_summaries=True)
+                if not outcome.solved or outcome.makespan is None:
+                    unsolved += 1
+                    continue
+                makespans.append(float(outcome.makespan))
+                for summary in outcome.node_summaries:
+                    delivery = summary["delivery_slot"]
+                    activation = summary["activation_slot"]
+                    if delivery is not None and activation is not None:
+                        latencies.append(float(delivery) - float(activation))
+            if not makespans:
+                raise RuntimeError(
+                    f"dynamic experiment: no solved runs for {protocol_label} / {arrival_label}"
+                )
+            cells.append(
+                DynamicCell(
+                    protocol_label=protocol_label,
+                    arrivals_description=arrival_label,
+                    k=arrivals.total_messages,
+                    makespan=summarize_makespans(makespans),
+                    latency=summarize_makespans(latencies),
+                    unsolved_runs=unsolved,
+                )
+            )
+    return DynamicResult(cells=cells)

@@ -1,0 +1,152 @@
+"""Generic (protocol × network size × repetitions) sweep runner.
+
+Every experiment in this repository — Figure 1, Table 1, the ablations — is a
+sweep of the same shape: for each protocol specification and each network size
+``k``, run a number of independently seeded simulations and aggregate their
+makespans.  :func:`run_sweep` implements that shape once; the experiment
+modules wrap it with the paper's specific protocol suites and presentation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.statistics import RunStatistics, summarize_makespans
+from repro.engine.dispatch import simulate
+from repro.engine.result import SimulationResult
+from repro.experiments.config import ExperimentConfig, ProtocolSpec
+from repro.util.rng import derive_seeds
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+#: Signature of the optional progress callback: (spec, k, completed_runs, total_runs).
+ProgressCallback = Callable[[ProtocolSpec, int, int, int], None]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """All runs of one (protocol, k) cell, plus their aggregates."""
+
+    spec_key: str
+    label: str
+    k: int
+    results: tuple[SimulationResult, ...]
+    elapsed_seconds: float
+
+    @property
+    def solved_results(self) -> tuple[SimulationResult, ...]:
+        return tuple(result for result in self.results if result.solved)
+
+    @property
+    def all_solved(self) -> bool:
+        return len(self.solved_results) == len(self.results)
+
+    @property
+    def makespans(self) -> list[int]:
+        return [result.makespan for result in self.solved_results if result.makespan is not None]
+
+    def makespan_statistics(self) -> RunStatistics:
+        return summarize_makespans(self.makespans)
+
+    def ratio_statistics(self) -> RunStatistics:
+        return summarize_makespans([makespan / self.k for makespan in self.makespans])
+
+    @property
+    def mean_makespan(self) -> float:
+        return self.makespan_statistics().mean
+
+    @property
+    def mean_ratio(self) -> float:
+        return self.ratio_statistics().mean
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, indexed by (protocol key, k)."""
+
+    config: ExperimentConfig
+    specs: Sequence[ProtocolSpec]
+    cells: dict[tuple[str, int], SweepCell] = field(default_factory=dict)
+
+    def cell(self, spec_key: str, k: int) -> SweepCell:
+        try:
+            return self.cells[(spec_key, k)]
+        except KeyError:
+            known = sorted({key for key, _ in self.cells})
+            raise KeyError(
+                f"no cell for protocol {spec_key!r} and k={k}; swept protocols: {known}"
+            ) from None
+
+    def series(self, spec_key: str) -> tuple[list[int], list[float]]:
+        """Return (k values, mean makespans) for one protocol — a Figure 1 curve."""
+        ks = sorted(k for key, k in self.cells if key == spec_key)
+        return ks, [self.cells[(spec_key, k)].mean_makespan for k in ks]
+
+    def ratio_series(self, spec_key: str) -> tuple[list[int], list[float]]:
+        """Return (k values, mean steps/k ratios) for one protocol — a Table 1 row."""
+        ks = sorted(k for key, k in self.cells if key == spec_key)
+        return ks, [self.cells[(spec_key, k)].mean_ratio for k in ks]
+
+    def total_runs(self) -> int:
+        return sum(len(cell.results) for cell in self.cells.values())
+
+    def total_elapsed_seconds(self) -> float:
+        return sum(cell.elapsed_seconds for cell in self.cells.values())
+
+
+def run_sweep(
+    specs: Sequence[ProtocolSpec],
+    config: ExperimentConfig,
+    engine: str = "auto",
+    progress: ProgressCallback | None = None,
+) -> SweepResult:
+    """Run every (protocol, k, repetition) combination of the sweep.
+
+    Seeds are derived deterministically from ``config.seed`` so that the whole
+    sweep is reproducible, and so that two protocols at the same (k, run
+    index) face statistically independent randomness (they are different
+    stochastic processes; sharing seeds would not make them comparable anyway).
+
+    Parameters
+    ----------
+    specs:
+        Protocol specifications (one per curve).
+    config:
+        Sizes, repetition count, root seed and safety caps.
+    engine:
+        Engine selector forwarded to :func:`repro.engine.dispatch.simulate`.
+    progress:
+        Optional callback invoked after every completed run.
+    """
+    if not specs:
+        raise ValueError("run_sweep needs at least one protocol specification")
+    result = SweepResult(config=config, specs=list(specs))
+    for spec_index, spec in enumerate(specs):
+        for k_index, k in enumerate(config.k_values):
+            cell_seed_root = config.seed + 1_000_003 * spec_index + 7_919 * k_index
+            seeds = derive_seeds(cell_seed_root, config.runs)
+            runs: list[SimulationResult] = []
+            started = time.perf_counter()
+            for run_index, seed in enumerate(seeds):
+                protocol = spec.build(k)
+                run = simulate(
+                    protocol,
+                    k,
+                    seed=seed,
+                    engine=engine,
+                    max_slots=config.max_slots_factor * k,
+                )
+                runs.append(run)
+                if progress is not None:
+                    progress(spec, k, run_index + 1, config.runs)
+            elapsed = time.perf_counter() - started
+            result.cells[(spec.key, k)] = SweepCell(
+                spec_key=spec.key,
+                label=spec.label,
+                k=k,
+                results=tuple(runs),
+                elapsed_seconds=elapsed,
+            )
+    return result

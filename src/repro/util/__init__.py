@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic RNG management, table/plot rendering, validation.
+
+The utilities in this package carry no protocol or channel semantics; they are
+used across :mod:`repro.channel`, :mod:`repro.engine` and
+:mod:`repro.experiments` to keep simulation code deterministic and the
+experiment output human-readable without external plotting dependencies.
+"""
+
+from repro.util.rng import (
+    RandomSource,
+    derive_seeds,
+    make_generator,
+    spawn_generators,
+)
+from repro.util.tables import format_markdown_table, format_text_table
+from repro.util.textplot import LogLogPlot, render_series
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_seeds",
+    "make_generator",
+    "spawn_generators",
+    "format_markdown_table",
+    "format_text_table",
+    "LogLogPlot",
+    "render_series",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

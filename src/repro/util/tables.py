@@ -1,0 +1,88 @@
+"""Plain-text and Markdown table rendering.
+
+The experiment harness reports its results as tables (Table 1 of the paper is
+literally a table; Figure 1 is exported both as data and as an ASCII plot).
+matplotlib and pandas are not available in the offline environment, so these
+small, dependency-free formatters are used everywhere a table is printed or
+written to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_markdown_table", "format_text_table"]
+
+
+def _stringify(cell: object, float_format: str) -> str:
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def _normalise(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str,
+) -> tuple[list[str], list[list[str]]]:
+    header_cells = [str(cell) for cell in headers]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = [_stringify(cell, float_format) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns: {cells}"
+            )
+        body.append(cells)
+    return header_cells, body
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".2f",
+) -> str:
+    """Render ``headers``/``rows`` as a GitHub-flavoured Markdown table.
+
+    Floats are formatted with ``float_format``; all other cells use ``str``.
+    """
+    header_cells, body = _normalise(headers, rows, float_format)
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines = [render_row(header_cells), separator]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_text_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".2f",
+    column_gap: int = 2,
+) -> str:
+    """Render ``headers``/``rows`` as an aligned plain-text table.
+
+    Useful for terminal output where Markdown pipes add noise.
+    """
+    header_cells, body = _normalise(headers, rows, float_format)
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    gap = " " * column_gap
+
+    def render_row(cells: Sequence[str]) -> str:
+        return gap.join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines = [render_row(header_cells)]
+    lines.append(gap.join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

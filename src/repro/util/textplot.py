@@ -1,0 +1,114 @@
+"""ASCII rendering of the paper's log-log figure.
+
+Figure 1 of the paper plots the average number of slots needed to solve static
+k-selection against the number of contenders k, on log-log axes, with one
+curve per protocol.  matplotlib is not available offline, so the experiment
+harness renders the same figure as
+
+* a character-grid log-log plot (:class:`LogLogPlot`), good enough to see the
+  relative ordering and slopes of the curves in a terminal or a Markdown code
+  block, and
+* gnuplot-compatible ``.dat`` files written by :mod:`repro.experiments.export`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["LogLogPlot", "render_series"]
+
+#: Characters used to mark successive series on the grid.
+_SERIES_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class LogLogPlot:
+    """Character-grid plot with logarithmic x and y axes.
+
+    Parameters
+    ----------
+    width, height:
+        Size of the plotting grid in characters (axes excluded).
+    x_label, y_label:
+        Axis captions printed under and beside the grid.
+    """
+
+    width: int = 72
+    height: int = 24
+    x_label: str = "x"
+    y_label: str = "y"
+    _series: list[tuple[str, Sequence[float], Sequence[float]]] = field(default_factory=list)
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Register a named series of strictly positive points."""
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} x-values but {len(ys)} y-values")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        for x, y in zip(xs, ys):
+            if x <= 0 or y <= 0:
+                raise ValueError(
+                    f"series {name!r}: log-log plot requires positive values, got ({x}, {y})"
+                )
+        self._series.append((name, list(xs), list(ys)))
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        all_x = [x for _, xs, _ in self._series for x in xs]
+        all_y = [y for _, _, ys in self._series for y in ys]
+        return min(all_x), max(all_x), min(all_y), max(all_y)
+
+    def render(self) -> str:
+        """Render the plot as a multi-line string."""
+        if not self._series:
+            raise ValueError("no series added to plot")
+        x_min, x_max, y_min, y_max = self._bounds()
+        log_x_min, log_x_max = math.log10(x_min), math.log10(x_max)
+        log_y_min, log_y_max = math.log10(y_min), math.log10(y_max)
+        x_span = max(log_x_max - log_x_min, 1e-12)
+        y_span = max(log_y_max - log_y_min, 1e-12)
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series_index, (_, xs, ys) in enumerate(self._series):
+            marker = _SERIES_MARKERS[series_index % len(_SERIES_MARKERS)]
+            for x, y in zip(xs, ys):
+                col = int(round((math.log10(x) - log_x_min) / x_span * (self.width - 1)))
+                row = int(round((math.log10(y) - log_y_min) / y_span * (self.height - 1)))
+                grid[self.height - 1 - row][col] = marker
+
+        y_tick_width = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+        lines = []
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                tick = f"{y_max:.3g}".rjust(y_tick_width)
+            elif row_index == self.height - 1:
+                tick = f"{y_min:.3g}".rjust(y_tick_width)
+            else:
+                tick = " " * y_tick_width
+            lines.append(f"{tick} |{''.join(row)}")
+        lines.append(" " * y_tick_width + " +" + "-" * self.width)
+        x_axis = f"{x_min:.3g}".ljust(self.width - len(f"{x_max:.3g}")) + f"{x_max:.3g}"
+        lines.append(" " * (y_tick_width + 2) + x_axis)
+        lines.append(" " * (y_tick_width + 2) + f"{self.x_label}  (log scale)   y: {self.y_label}")
+        legend = [
+            f"  {_SERIES_MARKERS[index % len(_SERIES_MARKERS)]} = {name}"
+            for index, (name, _, _) in enumerate(self._series)
+        ]
+        lines.append("legend:")
+        lines.extend(legend)
+        return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    x_label: str = "k",
+    y_label: str = "steps",
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Convenience wrapper: render a ``{name: (xs, ys)}`` mapping as a plot."""
+    plot = LogLogPlot(width=width, height=height, x_label=x_label, y_label=y_label)
+    for name, (xs, ys) in series.items():
+        plot.add_series(name, xs, ys)
+    return plot.render()

@@ -1,0 +1,124 @@
+"""Tests for the balls-in-bins occupancy statistics (Lemma 1 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.balls_in_bins import (
+    collision_probability_upper_bound,
+    expected_singletons,
+    sample_singletons,
+    singleton_fraction_lower_tail,
+    singleton_probability,
+)
+
+
+class TestSingletonProbability:
+    def test_single_ball(self):
+        assert singleton_probability(1, 10) == 1.0
+
+    def test_formula(self):
+        assert singleton_probability(3, 4) == pytest.approx((3 / 4) ** 2)
+
+    def test_equal_balls_and_bins_at_least_inverse_e(self):
+        """The proof of Lemma 1 uses (1/m)(1-1/m)^(m-1) >= 1/(em)."""
+        for m in (2, 5, 20, 200, 5_000):
+            assert singleton_probability(m, m) >= 1.0 / math.e
+
+    def test_tends_to_inverse_e(self):
+        assert singleton_probability(100_000, 100_000) == pytest.approx(1 / math.e, rel=1e-3)
+
+    def test_more_bins_higher_probability(self):
+        assert singleton_probability(10, 20) > singleton_probability(10, 10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            singleton_probability(0, 5)
+        with pytest.raises(ValueError):
+            singleton_probability(5, 0)
+
+
+class TestExpectedSingletons:
+    def test_formula(self):
+        assert expected_singletons(4, 4) == pytest.approx(4 * (3 / 4) ** 3)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        m, w = 200, 200
+        samples = sample_singletons(m, w, runs=400, rng=rng)
+        assert samples.mean() == pytest.approx(expected_singletons(m, w), rel=0.05)
+
+    def test_monotone_in_bins(self):
+        assert expected_singletons(50, 100) > expected_singletons(50, 50)
+
+
+class TestSingletonLowerTail:
+    def test_bound_is_probability(self):
+        assert 0.0 <= singleton_fraction_lower_tail(100, 0.2) <= 1.0
+
+    def test_decreases_with_m(self):
+        assert singleton_fraction_lower_tail(5_000, 0.2) < singleton_fraction_lower_tail(500, 0.2)
+
+    def test_matches_lemma1_threshold(self):
+        """At m = tau(k, delta, beta) the bound is at most 1/k^beta (Lemma 1)."""
+        from repro.core.analysis import ebb_lemma1_threshold
+
+        for k, beta in ((1_000, 1.0), (100_000, 2.0)):
+            delta = 0.2
+            tau = ebb_lemma1_threshold(k, delta, beta)
+            m = int(math.ceil(tau))
+            assert singleton_fraction_lower_tail(m, delta) <= 1.0 / k**beta * (1 + 1e-9)
+
+    def test_requires_w_at_least_m(self):
+        with pytest.raises(ValueError):
+            singleton_fraction_lower_tail(10, 0.2, w=5)
+
+    def test_delta_range(self):
+        with pytest.raises(ValueError):
+            singleton_fraction_lower_tail(10, 0.5)
+
+    def test_empirically_conservative(self):
+        """The analytic tail bound must upper-bound the Monte-Carlo frequency."""
+        m, delta = 400, 0.3
+        rng = np.random.default_rng(1)
+        samples = sample_singletons(m, m, runs=500, rng=rng)
+        empirical = float(np.mean(samples <= delta * m))
+        assert empirical <= singleton_fraction_lower_tail(m, delta) + 0.05
+
+
+class TestCollisionUnionBound:
+    def test_zero_for_single_ball(self):
+        assert collision_probability_upper_bound(1, 10) == 0.0
+
+    def test_formula(self):
+        assert collision_probability_upper_bound(4, 100) == pytest.approx(6 / 100)
+
+    def test_clipped_at_one(self):
+        assert collision_probability_upper_bound(100, 10) == 1.0
+
+    def test_empirically_conservative(self):
+        """P(some bin has >= 2 balls) <= C(m,2)/w, checked by simulation."""
+        m, w = 10, 2_000
+        rng = np.random.default_rng(2)
+        collisions = 0
+        runs = 2_000
+        for _ in range(runs):
+            occupancy = np.bincount(rng.integers(0, w, size=m), minlength=w)
+            collisions += int(occupancy.max() >= 2)
+        assert collisions / runs <= collision_probability_upper_bound(m, w) + 0.02
+
+
+class TestSampler:
+    def test_counts_within_bounds(self):
+        samples = sample_singletons(10, 10, runs=50, rng=np.random.default_rng(3))
+        assert (samples >= 0).all() and (samples <= 10).all()
+
+    def test_run_count(self):
+        assert len(sample_singletons(5, 5, runs=7, rng=np.random.default_rng(4))) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_singletons(5, 5, runs=0)

@@ -1,0 +1,91 @@
+"""Tests for the concentration-bound helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_bound,
+    poissonisation_factor,
+)
+
+
+class TestChernoffLowerTail:
+    def test_is_probability(self):
+        assert 0.0 < chernoff_lower_tail(100.0, 0.5) < 1.0
+
+    def test_decreasing_in_mu(self):
+        assert chernoff_lower_tail(1_000.0, 0.2) < chernoff_lower_tail(10.0, 0.2)
+
+    def test_decreasing_in_phi(self):
+        assert chernoff_lower_tail(100.0, 0.9) < chernoff_lower_tail(100.0, 0.1)
+
+    def test_lemma5_instance(self):
+        """The bound used in Lemma 5: phi = 1/6, mu = tau/delta with tau = 300 delta ln(1+k)."""
+        k, delta = 1_000, 2.72
+        tau = 300 * delta * math.log(1 + k)
+        bound = chernoff_lower_tail(tau / delta, 1.0 / 6.0)
+        assert bound < math.exp(-2 * math.log(1 + k))  # the paper's e^{-2 ln(1+k)} target
+
+    def test_phi_range(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10.0, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10.0, 1.0)
+
+    def test_empirically_valid_for_binomial(self):
+        """Check the bound against a simulated Binomial(n, p) lower tail."""
+        n, p, phi = 400, 0.25, 0.3
+        mu = n * p
+        rng = np.random.default_rng(0)
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float(np.mean(samples <= (1 - phi) * mu))
+        assert empirical <= chernoff_lower_tail(mu, phi)
+
+
+class TestChernoffUpperTail:
+    def test_is_probability(self):
+        assert 0.0 < chernoff_upper_tail(50.0, 0.5) < 1.0
+
+    def test_phi_range(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10.0, 1.5)
+
+    def test_empirically_valid_for_binomial(self):
+        n, p, phi = 400, 0.25, 0.3
+        mu = n * p
+        rng = np.random.default_rng(1)
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float(np.mean(samples >= (1 + phi) * mu))
+        assert empirical <= chernoff_upper_tail(mu, phi)
+
+
+class TestHoeffding:
+    def test_clipped_at_one(self):
+        assert hoeffding_bound(1, 0.01) == 1.0
+
+    def test_decays_with_n(self):
+        assert hoeffding_bound(10_000, 0.05) < hoeffding_bound(100, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, 0.0)
+
+
+class TestPoissonisation:
+    def test_formula(self):
+        assert poissonisation_factor(4) == pytest.approx(2 * math.e)
+
+    def test_monotone(self):
+        assert poissonisation_factor(100) > poissonisation_factor(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poissonisation_factor(0)

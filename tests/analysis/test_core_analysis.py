@@ -1,0 +1,139 @@
+"""Tests for the paper's closed-form expressions (Theorems 1-2, Lemma 1, Table 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import analysis
+from repro.core.constants import (
+    EBB_DELTA_DEFAULT,
+    OFA_DELTA_DEFAULT,
+    OFA_DELTA_MAX,
+    ofa_delta_upper_bound,
+)
+
+
+class TestConstants:
+    def test_ofa_delta_upper_bound_value(self):
+        assert ofa_delta_upper_bound() == pytest.approx(2.9906, abs=1e-3)
+
+    def test_papers_deltas_are_admissible(self):
+        assert math.e < OFA_DELTA_DEFAULT <= OFA_DELTA_MAX
+        assert 0 < EBB_DELTA_DEFAULT < 1 / math.e
+
+
+class TestOneFailAdaptiveAnalysis:
+    def test_leading_constant_matches_table1(self):
+        """Table 1's Analysis column reports 7.4 for One-fail Adaptive."""
+        assert analysis.ofa_leading_constant(2.72) == pytest.approx(7.44)
+
+    def test_makespan_bound_dominated_by_linear_term(self):
+        k = 10**6
+        bound = analysis.ofa_makespan_bound(k)
+        assert bound == pytest.approx(7.44 * k, rel=1e-3)
+
+    def test_makespan_bound_additive_term_visible_at_small_k(self):
+        assert analysis.ofa_makespan_bound(4, log_square_constant=100.0) > 7.44 * 4
+
+    def test_success_probability(self):
+        assert analysis.ofa_success_probability(999) == pytest.approx(1 - 2 / 1000)
+        # The guarantee is vacuous for k = 1 (probability 0) and grows towards 1.
+        assert analysis.ofa_success_probability(1) == 0.0
+        assert analysis.ofa_success_probability(3) == pytest.approx(0.5)
+
+    def test_tau_formula(self):
+        assert analysis.ofa_round_threshold_tau(99, delta=2.72) == pytest.approx(
+            300 * 2.72 * math.log(100)
+        )
+
+    def test_gamma_positive_in_admissible_range(self):
+        for delta in (2.72, 2.8, 2.99):
+            assert analysis.ofa_gamma(delta) > 0
+
+    def test_gamma_undefined_at_two(self):
+        with pytest.raises(ValueError):
+            analysis.ofa_gamma(2.0)
+
+    def test_bt_threshold_is_logarithmic(self):
+        m_small = analysis.ofa_bt_threshold_M(10**3)
+        m_large = analysis.ofa_bt_threshold_M(10**6)
+        assert m_large / m_small == pytest.approx(math.log(1 + 10**6) / math.log(1 + 10**3), rel=0.01)
+
+    def test_bt_threshold_requires_delta_above_e(self):
+        with pytest.raises(ValueError):
+            analysis.ofa_bt_threshold_M(100, delta=2.0)
+
+    def test_leading_constant_requires_admissible_delta(self):
+        with pytest.raises(ValueError):
+            analysis.ofa_leading_constant(2.0)
+
+
+class TestExpBackonBackoffAnalysis:
+    def test_leading_constant_matches_table1(self):
+        """Table 1's Analysis column reports 14.9 for Exp Back-on/Back-off."""
+        assert analysis.ebb_leading_constant(0.366) == pytest.approx(14.93, abs=0.01)
+
+    def test_makespan_bound_linear(self):
+        assert analysis.ebb_makespan_bound(1_000) == pytest.approx(14_928, rel=1e-3)
+
+    def test_lemma1_threshold_grows_with_beta_and_k(self):
+        assert analysis.ebb_lemma1_threshold(1_000, beta=2.0) > analysis.ebb_lemma1_threshold(
+            1_000, beta=1.0
+        )
+        assert analysis.ebb_lemma1_threshold(10**6) > analysis.ebb_lemma1_threshold(10**3)
+
+    def test_lemma1_threshold_explodes_near_inverse_e(self):
+        assert analysis.ebb_lemma1_threshold(1_000, delta=0.36) > analysis.ebb_lemma1_threshold(
+            1_000, delta=0.2
+        )
+
+    def test_lemma1_failure_probability_decreases_with_m(self):
+        # Use a delta comfortably below 1/e: at the paper's delta = 0.366 the
+        # (1 - e*delta)^2 factor is so small that the bound is vacuous (= 1)
+        # for any m reachable in simulation, which is expected.
+        assert analysis.ebb_lemma1_failure_probability(
+            5_000, delta=0.2
+        ) < analysis.ebb_lemma1_failure_probability(500, delta=0.2)
+        assert analysis.ebb_lemma1_failure_probability(500, delta=EBB_DELTA_DEFAULT) == 1.0
+
+    def test_delta_range_enforced(self):
+        with pytest.raises(ValueError):
+            analysis.ebb_leading_constant(0.5)
+        with pytest.raises(ValueError):
+            analysis.ebb_lemma1_threshold(100, delta=1 / math.e)
+
+
+class TestLogFailsAdaptiveAnalysis:
+    def test_constants_match_table1(self):
+        """Table 1's Analysis column reports 7.8 (xi_t=1/2) and 4.4 (xi_t=1/10)."""
+        assert analysis.lfa_leading_constant(0.5) == pytest.approx(7.8, abs=0.05)
+        assert analysis.lfa_leading_constant(0.1) == pytest.approx(4.4, abs=0.05)
+
+    def test_makespan_bound_uses_papers_epsilon_by_default(self):
+        k = 1_000
+        explicit = analysis.lfa_makespan_bound(k, xi_t=0.5, epsilon=1 / (k + 1))
+        assert analysis.lfa_makespan_bound(k, xi_t=0.5) == pytest.approx(explicit)
+
+    def test_xi_t_range(self):
+        with pytest.raises(ValueError):
+            analysis.lfa_leading_constant(0.0)
+        with pytest.raises(ValueError):
+            analysis.lfa_leading_constant(1.0)
+
+
+class TestOtherBaselines:
+    def test_llib_ratio_slowly_growing(self):
+        small = analysis.llib_ratio_estimate(10**3)
+        large = analysis.llib_ratio_estimate(10**7)
+        assert large >= small
+        assert large < 5 * small  # extremely slow growth
+
+    def test_fair_optimum_is_e(self):
+        assert analysis.fair_protocol_optimal_ratio() == pytest.approx(math.e)
+
+    def test_lower_bound(self):
+        assert analysis.lower_bound_steps(123) == 123
+        with pytest.raises(ValueError):
+            analysis.lower_bound_steps(0)

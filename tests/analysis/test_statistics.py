@@ -1,0 +1,78 @@
+"""Tests for the run-statistics summaries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import RunStatistics, summarize_makespans, summarize_ratios
+
+
+class TestSummarizeMakespans:
+    def test_basic_aggregates(self):
+        stats = summarize_makespans([10, 20, 30])
+        assert stats.count == 3
+        assert stats.mean == 20
+        assert stats.minimum == 10
+        assert stats.maximum == 30
+        assert stats.median == 20
+
+    def test_std_is_sample_std(self):
+        stats = summarize_makespans([10, 20, 30])
+        assert stats.std == pytest.approx(10.0)
+
+    def test_single_sample(self):
+        stats = summarize_makespans([42])
+        assert stats.std == 0.0
+        assert stats.ci_half_width == 0.0
+        assert stats.median == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_makespans([])
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize_makespans(list(range(100)))
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_ci_shrinks_with_sample_size(self):
+        small = summarize_makespans([10, 20, 30, 40])
+        large = summarize_makespans([10, 20, 30, 40] * 25)
+        assert large.ci_half_width < small.ci_half_width
+
+    def test_percentiles_ordered(self):
+        stats = summarize_makespans(list(range(1, 101)))
+        assert stats.median <= stats.p90 <= stats.maximum
+
+    def test_p90_value(self):
+        stats = summarize_makespans(list(range(1, 12)))  # 1..11
+        assert stats.p90 == pytest.approx(10.0)
+
+    def test_unsorted_input_handled(self):
+        assert summarize_makespans([3, 1, 2]).median == 2
+
+    def test_coefficient_of_variation(self):
+        stats = summarize_makespans([10, 20, 30])
+        assert stats.coefficient_of_variation == pytest.approx(stats.std / stats.mean)
+
+    def test_to_dict_keys(self):
+        payload = summarize_makespans([1, 2, 3]).to_dict()
+        assert set(payload) == {
+            "count", "mean", "std", "min", "max", "median", "p90", "ci_low", "ci_high",
+        }
+
+
+class TestSummarizeRatios:
+    def test_divides_by_k(self):
+        stats = summarize_ratios([100, 200], k=100)
+        assert stats.mean == pytest.approx(1.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([100], k=0)
+
+    def test_matches_manual_division(self):
+        makespans = [740, 750, 730]
+        stats = summarize_ratios(makespans, k=100)
+        assert stats.mean == pytest.approx(sum(makespans) / 3 / 100)

@@ -1,0 +1,97 @@
+"""Tests for the arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.arrivals import ArrivalEvent, BatchArrival, BurstyArrival, PoissonArrival
+
+
+class TestArrivalEvent:
+    def test_valid(self):
+        event = ArrivalEvent(slot=3, count=2)
+        assert event.slot == 3 and event.count == 2
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalEvent(slot=-1, count=1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalEvent(slot=0, count=0)
+
+
+class TestBatchArrival:
+    def test_single_event_at_slot_zero(self):
+        events = BatchArrival(10).events(np.random.default_rng(0))
+        assert events == [ArrivalEvent(slot=0, count=10)]
+
+    def test_total_messages(self):
+        assert BatchArrival(42).total_messages == 42
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BatchArrival(0)
+
+    def test_describe(self):
+        description = BatchArrival(5).describe()
+        assert description["type"] == "BatchArrival"
+        assert description["parameters"]["k"] == 5
+
+
+class TestPoissonArrival:
+    def test_total_and_count(self):
+        process = PoissonArrival(k=20, rate=0.1)
+        events = process.events(np.random.default_rng(1))
+        assert process.total_messages == 20
+        assert sum(event.count for event in events) == 20
+
+    def test_first_arrival_at_zero(self):
+        events = PoissonArrival(k=5, rate=0.5).events(np.random.default_rng(2))
+        assert events[0].slot == 0
+
+    def test_slots_strictly_increasing(self):
+        events = PoissonArrival(k=50, rate=0.3).events(np.random.default_rng(3))
+        slots = [event.slot for event in events]
+        assert slots == sorted(slots)
+        assert len(set(slots)) == len(slots)
+
+    def test_rate_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(k=5, rate=1.5)
+
+    def test_rate_zero_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(k=5, rate=0.0)
+
+    def test_mean_gap_roughly_inverse_rate(self):
+        rate = 0.2
+        events = PoissonArrival(k=2_000, rate=rate).events(np.random.default_rng(4))
+        gaps = [b.slot - a.slot for a, b in zip(events, events[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 0.7 / rate < mean_gap < 1.3 / rate
+
+    def test_deterministic_given_rng(self):
+        a = PoissonArrival(k=10, rate=0.1).events(np.random.default_rng(9))
+        b = PoissonArrival(k=10, rate=0.1).events(np.random.default_rng(9))
+        assert a == b
+
+
+class TestBurstyArrival:
+    def test_event_layout(self):
+        process = BurstyArrival(bursts=3, burst_size=4, gap=100)
+        events = process.events(np.random.default_rng(0))
+        assert [event.slot for event in events] == [0, 100, 200]
+        assert all(event.count == 4 for event in events)
+
+    def test_total_messages(self):
+        assert BurstyArrival(bursts=3, burst_size=4, gap=10).total_messages == 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyArrival(bursts=0, burst_size=1, gap=1)
+        with pytest.raises(ValueError):
+            BurstyArrival(bursts=1, burst_size=0, gap=1)
+        with pytest.raises(ValueError):
+            BurstyArrival(bursts=1, burst_size=1, gap=0)

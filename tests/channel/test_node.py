@@ -1,0 +1,115 @@
+"""Tests for the station (node) state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import Observation
+from repro.channel.node import Message, Node, NodeState
+from repro.core.one_fail_adaptive import OneFailAdaptive
+
+
+def make_node(node_id: int = 0, seed: int = 1) -> Node:
+    return Node(node_id=node_id, protocol=OneFailAdaptive(), rng=np.random.default_rng(seed))
+
+
+class TestMessage:
+    def test_ids_are_unique(self):
+        assert Message().message_id != Message().message_id
+
+    def test_defaults(self):
+        message = Message(origin=3, arrival_slot=5)
+        assert message.origin == 3
+        assert message.arrival_slot == 5
+        assert message.payload is None
+
+
+class TestNodeLifecycle:
+    def test_starts_dormant(self):
+        node = make_node()
+        assert node.state is NodeState.DORMANT
+        assert not node.is_active
+
+    def test_activation(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        assert node.state is NodeState.ACTIVE
+        assert node.is_active
+        assert node.activation_slot == 0
+
+    def test_double_activation_rejected(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        with pytest.raises(RuntimeError):
+            node.activate(Message(origin=0), slot=1)
+
+    def test_dormant_node_never_transmits(self):
+        node = make_node()
+        assert node.decide_transmission(0) is False
+        assert node.transmissions == 0
+
+    def test_delivery_makes_node_idle(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        node.receive_feedback(
+            Observation(slot=4, transmitted=True, received=False, delivered=True)
+        )
+        assert node.state is NodeState.IDLE
+        assert node.delivery_slot == 4
+        assert not node.is_active
+
+    def test_idle_node_ignores_feedback(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        node.receive_feedback(
+            Observation(slot=2, transmitted=True, received=False, delivered=True)
+        )
+        node.receive_feedback(
+            Observation(slot=3, transmitted=False, received=True, delivered=False)
+        )
+        assert node.delivery_slot == 2  # unchanged
+
+    def test_reactivation_after_delivery_allowed(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        node.receive_feedback(
+            Observation(slot=1, transmitted=True, received=False, delivered=True)
+        )
+        node.activate(Message(origin=0), slot=10)
+        assert node.is_active
+        assert node.activation_slot == 10
+
+
+class TestNodeCounters:
+    def test_transmission_counter(self):
+        node = make_node(seed=3)
+        node.activate(Message(origin=0), slot=0)
+        total = sum(1 for slot in range(50) if node.decide_transmission(slot))
+        assert node.transmissions == total
+        assert total > 0
+
+    def test_collision_counter_increment(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        node.receive_feedback(
+            Observation(slot=0, transmitted=True, received=False, delivered=False)
+        )
+        assert node.collisions == 1
+
+    def test_no_collision_counted_when_not_transmitting(self):
+        node = make_node()
+        node.activate(Message(origin=0), slot=0)
+        node.receive_feedback(
+            Observation(slot=0, transmitted=False, received=False, delivered=False)
+        )
+        assert node.collisions == 0
+
+    def test_summary_fields(self):
+        node = make_node(node_id=7)
+        node.activate(Message(origin=7), slot=2)
+        summary = node.summary()
+        assert summary["node_id"] == 7
+        assert summary["state"] == "active"
+        assert summary["activation_slot"] == 2
+        assert summary["delivery_slot"] is None

@@ -1,0 +1,69 @@
+"""Tests for execution traces."""
+
+from __future__ import annotations
+
+from repro.channel.model import SlotOutcome
+from repro.channel.trace import ExecutionTrace, SlotRecord
+
+
+def record(slot: int, outcome: SlotOutcome, transmitters: int = 1) -> SlotRecord:
+    return SlotRecord(slot=slot, transmitters=transmitters, outcome=outcome, active_before=5)
+
+
+class TestExecutionTrace:
+    def test_append_and_len(self):
+        trace = ExecutionTrace()
+        trace.append(record(0, SlotOutcome.SILENCE, 0))
+        trace.append(record(1, SlotOutcome.SUCCESS))
+        assert len(trace) == 2
+        assert trace[1].outcome is SlotOutcome.SUCCESS
+
+    def test_counts(self):
+        trace = ExecutionTrace()
+        trace.append(record(0, SlotOutcome.SILENCE, 0))
+        trace.append(record(1, SlotOutcome.SUCCESS))
+        trace.append(record(2, SlotOutcome.COLLISION, 3))
+        trace.append(record(3, SlotOutcome.SUCCESS))
+        assert trace.successes == 2
+        assert trace.collisions == 1
+        assert trace.silences == 1
+
+    def test_success_slots(self):
+        trace = ExecutionTrace()
+        trace.append(record(4, SlotOutcome.SUCCESS))
+        trace.append(record(9, SlotOutcome.SUCCESS))
+        assert trace.success_slots() == [4, 9]
+
+    def test_utilisation(self):
+        trace = ExecutionTrace()
+        assert trace.utilisation() == 0.0
+        trace.append(record(0, SlotOutcome.SUCCESS))
+        trace.append(record(1, SlotOutcome.COLLISION, 2))
+        assert trace.utilisation() == 0.5
+
+    def test_max_records_cap(self):
+        trace = ExecutionTrace(max_records=2)
+        for slot in range(5):
+            trace.append(record(slot, SlotOutcome.SILENCE, 0))
+        assert len(trace) == 2
+
+    def test_summary(self):
+        trace = ExecutionTrace()
+        trace.append(record(0, SlotOutcome.SUCCESS))
+        summary = trace.summary()
+        assert summary["slots"] == 1
+        assert summary["successes"] == 1
+        assert summary["utilisation"] == 1.0
+
+    def test_format_limits_output(self):
+        trace = ExecutionTrace()
+        for slot in range(10):
+            trace.append(record(slot, SlotOutcome.SILENCE, 0))
+        text = trace.format(limit=3)
+        assert "7 more slots" in text
+
+    def test_iteration(self):
+        trace = ExecutionTrace()
+        trace.append(record(0, SlotOutcome.SUCCESS))
+        trace.append(record(1, SlotOutcome.SILENCE, 0))
+        assert [r.slot for r in trace] == [0, 1]

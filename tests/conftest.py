@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.fair_engine import FairEngine
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.window_engine import WindowEngine
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ofa() -> OneFailAdaptive:
+    """One-fail Adaptive with the paper's parameters."""
+    return OneFailAdaptive()
+
+
+@pytest.fixture
+def ebb() -> ExpBackonBackoff:
+    """Exp Back-on/Back-off with the paper's parameters."""
+    return ExpBackonBackoff()
+
+
+@pytest.fixture
+def lfa() -> LogFailsAdaptive:
+    """Log-fails Adaptive for a 100-node network (the paper's epsilon choice)."""
+    return LogFailsAdaptive.for_k(100)
+
+
+@pytest.fixture
+def fair_engine() -> FairEngine:
+    return FairEngine()
+
+
+@pytest.fixture
+def window_engine() -> WindowEngine:
+    return WindowEngine()
+
+
+@pytest.fixture
+def slot_engine() -> SlotEngine:
+    return SlotEngine()
+
+
+@pytest.fixture
+def cd_channel() -> ChannelModel:
+    """A channel with full collision detection (for the splitting baseline)."""
+    return ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION)

@@ -1,0 +1,61 @@
+"""Tests for engine dispatch (`simulate` / `pick_engine`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.dispatch import pick_engine, simulate
+from repro.engine.fair_engine import FairEngine
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.window_engine import WindowEngine
+from repro.protocols.splitting import BinarySplitting
+
+
+class TestPickEngine:
+    def test_fair_protocol_gets_fair_engine(self):
+        assert isinstance(pick_engine(OneFailAdaptive()), FairEngine)
+
+    def test_windowed_protocol_gets_window_engine(self):
+        assert isinstance(pick_engine(ExpBackonBackoff()), WindowEngine)
+
+    def test_other_protocols_get_slot_engine(self):
+        assert isinstance(pick_engine(BinarySplitting()), SlotEngine)
+
+    def test_non_default_channel_forces_slot_engine(self):
+        channel = ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION)
+        assert isinstance(pick_engine(OneFailAdaptive(), channel=channel), SlotEngine)
+
+    def test_explicit_engine_respected(self):
+        assert isinstance(pick_engine(OneFailAdaptive(), engine="slot"), SlotEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            pick_engine(OneFailAdaptive(), engine="quantum")
+
+
+class TestSimulateFrontDoor:
+    def test_returns_solved_result(self):
+        result = simulate(OneFailAdaptive(), k=50, seed=1)
+        assert result.solved
+        assert result.engine == "fair"
+
+    def test_windowed_protocol_routed(self):
+        result = simulate(ExpBackonBackoff(), k=50, seed=1)
+        assert result.engine == "window"
+
+    def test_engine_override(self):
+        result = simulate(OneFailAdaptive(), k=10, seed=1, engine="slot")
+        assert result.engine == "slot"
+        assert result.solved
+
+    def test_max_slots_forwarded(self):
+        result = simulate(OneFailAdaptive(), k=50, seed=1, max_slots=10)
+        assert not result.solved
+
+    def test_seed_reproducibility_across_calls(self):
+        assert simulate(OneFailAdaptive(), 80, seed=5).makespan == simulate(
+            OneFailAdaptive(), 80, seed=5
+        ).makespan

@@ -1,0 +1,134 @@
+"""Tests for the O(1)-per-slot fair-protocol engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.channel.trace import ExecutionTrace
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.fair_engine import FairEngine
+from repro.protocols.aloha import SlottedAloha
+from repro.protocols.base import FairProtocol
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+
+class TestBasicOperation:
+    @pytest.mark.parametrize("k", [1, 2, 10, 500])
+    def test_solves_and_counts(self, k, fair_engine):
+        result = fair_engine.simulate(OneFailAdaptive(), k, seed=1)
+        assert result.solved
+        assert result.successes == k
+        assert result.makespan >= k
+        assert result.successes + result.collisions + result.silences == result.slots_simulated
+
+    def test_engine_name_recorded(self, fair_engine):
+        result = fair_engine.simulate(OneFailAdaptive(), 5, seed=1)
+        assert result.engine == "fair"
+        assert result.protocol == "one-fail-adaptive"
+
+    def test_deterministic_given_seed(self, fair_engine):
+        a = fair_engine.simulate(OneFailAdaptive(), 100, seed=9)
+        b = fair_engine.simulate(OneFailAdaptive(), 100, seed=9)
+        assert a.makespan == b.makespan
+
+    def test_different_seeds_differ(self, fair_engine):
+        makespans = {
+            fair_engine.simulate(OneFailAdaptive(), 100, seed=seed).makespan for seed in range(5)
+        }
+        assert len(makespans) > 1
+
+    def test_prototype_not_mutated(self, fair_engine):
+        prototype = OneFailAdaptive()
+        fair_engine.simulate(prototype, 50, seed=0)
+        assert prototype.messages_received == 0
+
+    def test_single_node_aloha_finishes_in_one_slot(self, fair_engine):
+        result = fair_engine.simulate(SlottedAloha(k=1), 1, seed=0)
+        assert result.makespan == 1
+
+    def test_works_for_log_fails_adaptive(self, fair_engine):
+        result = fair_engine.simulate(LogFailsAdaptive.for_k(200), 200, seed=3)
+        assert result.solved
+
+    def test_invalid_k_rejected(self, fair_engine):
+        with pytest.raises(ValueError):
+            fair_engine.simulate(OneFailAdaptive(), 0, seed=0)
+
+
+class TestProtocolClassChecks:
+    def test_rejects_non_fair_protocol(self, fair_engine):
+        with pytest.raises(TypeError):
+            fair_engine.simulate(ExpBackonBackoff(), 10, seed=0)
+
+    def test_rejects_state_dependent_on_own_transmission(self, fair_engine):
+        class Cheater(OneFailAdaptive):
+            name = "one-fail-adaptive"  # reuse registration
+            state_depends_on_own_transmission = True
+
+        with pytest.raises(ValueError):
+            fair_engine.simulate(Cheater(), 10, seed=0)
+
+
+class TestChannelRestrictions:
+    def test_requires_no_cd_channel(self):
+        with pytest.raises(ValueError):
+            FairEngine(channel=ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION))
+
+    def test_requires_acknowledgements(self):
+        with pytest.raises(ValueError):
+            FairEngine(channel=ChannelModel(acknowledgements=False))
+
+
+class TestSlotCapAndTrace:
+    def test_unsolved_when_capped(self, fair_engine):
+        result = fair_engine.simulate(OneFailAdaptive(), 100, seed=0, max_slots=10)
+        assert not result.solved
+        assert result.slots_simulated == 10
+
+    def test_trace_collected(self, fair_engine):
+        trace = ExecutionTrace()
+        result = fair_engine.simulate(OneFailAdaptive(), 20, seed=1, trace=trace)
+        assert len(trace) == result.slots_simulated
+        assert trace.successes == 20
+        assert trace.success_slots()[-1] == result.makespan - 1
+
+
+class TestStatisticalBehaviour:
+    def test_ofa_ratio_matches_paper_at_moderate_k(self, fair_engine):
+        """Table 1 reports steps/k ~= 7.4 for One-fail Adaptive at k = 10^3."""
+        k = 1_000
+        ratios = [
+            fair_engine.simulate(OneFailAdaptive(), k, seed=seed).steps_per_node
+            for seed in range(5)
+        ]
+        mean = sum(ratios) / len(ratios)
+        assert 6.5 < mean < 8.3
+
+    def test_makespan_scales_linearly(self, fair_engine):
+        small = fair_engine.simulate(OneFailAdaptive(), 500, seed=2).makespan
+        large = fair_engine.simulate(OneFailAdaptive(), 5_000, seed=2).makespan
+        assert 7 < large / small < 13  # ~10x for 10x nodes
+
+
+class TestFairReductionCorrectness:
+    def test_collision_probability_consistency(self, fair_engine):
+        """With p = 1 and several stations every slot must be a collision until capped."""
+
+        class AlwaysTransmit(FairProtocol):
+            name = "test-always-transmit"
+
+            def reset(self):
+                pass
+
+            def transmission_probability(self, slot):
+                return 1.0
+
+            def notify(self, observation):
+                pass
+
+        result = fair_engine.simulate(AlwaysTransmit(), 5, seed=0, max_slots=50)
+        assert not result.solved
+        assert result.collisions == 50
+        assert result.successes == 0

@@ -1,0 +1,69 @@
+"""Tests for the SimulationResult invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.result import SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        solved=True,
+        makespan=50,
+        k=10,
+        slots_simulated=50,
+        successes=10,
+        collisions=20,
+        silences=20,
+        protocol="one-fail-adaptive",
+        engine="fair",
+        seed=1,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestInvariants:
+    def test_valid_solved_result(self):
+        result = make_result()
+        assert result.steps_per_node == 5.0
+
+    def test_solved_requires_makespan(self):
+        with pytest.raises(ValueError):
+            make_result(makespan=None)
+
+    def test_makespan_cannot_beat_one_per_slot(self):
+        with pytest.raises(ValueError):
+            make_result(makespan=5)  # k = 10 > 5
+
+    def test_solved_requires_k_successes(self):
+        with pytest.raises(ValueError):
+            make_result(successes=9)
+
+    def test_unsolved_must_not_report_makespan(self):
+        with pytest.raises(ValueError):
+            make_result(solved=False, makespan=100, successes=3)
+
+    def test_unsolved_result_valid(self):
+        result = make_result(solved=False, makespan=None, successes=3)
+        assert not result.solved
+
+    def test_steps_per_node_undefined_when_unsolved(self):
+        result = make_result(solved=False, makespan=None, successes=3)
+        with pytest.raises(ValueError):
+            _ = result.steps_per_node
+
+
+class TestSerialisation:
+    def test_to_dict_round_trip_fields(self):
+        result = make_result(metadata={"windows": 7})
+        payload = result.to_dict()
+        assert payload["makespan"] == 50
+        assert payload["protocol"] == "one-fail-adaptive"
+        assert payload["meta_windows"] == 7
+
+    def test_frozen(self):
+        result = make_result()
+        with pytest.raises(AttributeError):
+            result.makespan = 99

@@ -1,0 +1,65 @@
+"""Tests for the node-level slot engine adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.arrivals import PoissonArrival
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.channel.trace import ExecutionTrace
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.slot_engine import SlotEngine
+from repro.protocols.splitting import BinarySplitting
+
+
+class TestBasicOperation:
+    @pytest.mark.parametrize("k", [1, 3, 12])
+    def test_solves_any_protocol_class(self, k, slot_engine):
+        for protocol in (OneFailAdaptive(), ExpBackonBackoff()):
+            result = slot_engine.simulate(protocol, k, seed=1)
+            assert result.solved
+            assert result.successes == k
+
+    def test_engine_name(self, slot_engine):
+        assert slot_engine.simulate(OneFailAdaptive(), 3, seed=0).engine == "slot"
+
+    def test_metadata_reports_arrivals(self, slot_engine):
+        result = slot_engine.simulate(OneFailAdaptive(), 3, seed=0)
+        assert result.metadata["arrivals"] == "BatchArrival"
+
+    def test_deterministic(self, slot_engine):
+        a = slot_engine.simulate(OneFailAdaptive(), 15, seed=4)
+        b = slot_engine.simulate(OneFailAdaptive(), 15, seed=4)
+        assert a.makespan == b.makespan
+
+    def test_trace_forwarded(self, slot_engine):
+        trace = ExecutionTrace()
+        result = slot_engine.simulate(OneFailAdaptive(), 5, seed=2, trace=trace)
+        assert len(trace) == result.slots_simulated
+
+    def test_unsolved_when_capped(self, slot_engine):
+        result = slot_engine.simulate(OneFailAdaptive(), 30, seed=0, max_slots=5)
+        assert not result.solved
+
+    def test_invalid_k(self, slot_engine):
+        with pytest.raises(ValueError):
+            slot_engine.simulate(OneFailAdaptive(), 0, seed=0)
+
+
+class TestCustomArrivalsAndChannels:
+    def test_explicit_arrival_process(self, slot_engine):
+        arrivals = PoissonArrival(k=8, rate=0.2)
+        result = slot_engine.simulate(OneFailAdaptive(), 8, seed=1, arrivals=arrivals)
+        assert result.solved
+        assert result.k == 8
+
+    def test_collision_detection_channel(self):
+        engine = SlotEngine(channel=ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION))
+        result = engine.simulate(BinarySplitting(), 10, seed=1)
+        assert result.solved
+        assert result.successes == 10
+
+    def test_max_slots_factor_validation(self):
+        with pytest.raises(ValueError):
+            SlotEngine(max_slots_factor=0)

@@ -1,0 +1,76 @@
+"""Tests for the unified command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, build_protocol, main
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.protocols.aloha import SlottedAloha
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+
+class TestBuildProtocol:
+    def test_paper_protocols_default_parameters(self):
+        assert isinstance(build_protocol("one-fail-adaptive", k=100), OneFailAdaptive)
+        assert isinstance(build_protocol("exp-backon-backoff", k=100), ExpBackonBackoff)
+
+    def test_delta_override(self):
+        assert build_protocol("one-fail-adaptive", k=10, delta=2.9).delta == 2.9
+        assert build_protocol("exp-backon-backoff", k=10, delta=0.2).delta == 0.2
+
+    def test_knowledge_protocols_receive_k(self):
+        lfa = build_protocol("log-fails-adaptive", k=499, xi_t=0.1)
+        assert isinstance(lfa, LogFailsAdaptive)
+        assert lfa.epsilon == pytest.approx(1 / 500)
+        assert lfa.xi_t == 0.1
+        aloha = build_protocol("slotted-aloha", k=77)
+        assert isinstance(aloha, SlottedAloha)
+        assert aloha.k == 77
+
+    def test_backoff_family(self):
+        assert build_protocol("loglog-iterated-backoff", k=10).name == "loglog-iterated-backoff"
+        assert build_protocol("exponential-backoff", k=10).name == "exponential-backoff"
+
+
+class TestSimulateCommand:
+    def test_runs_and_prints_result(self, capsys):
+        exit_code = main(["simulate", "--protocol", "one-fail-adaptive", "--k", "200", "--seed", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "steps per node" in output
+        assert "One-Fail Adaptive" in output
+
+    def test_windowed_protocol(self, capsys):
+        assert main(["simulate", "--protocol", "exp-backon-backoff", "--k", "100"]) == 0
+        assert "window" in capsys.readouterr().out
+
+    def test_engine_override(self, capsys):
+        assert main(["simulate", "--protocol", "one-fail-adaptive", "--k", "30",
+                     "--engine", "slot"]) == 0
+        assert "slot" in capsys.readouterr().out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--protocol", "not-a-protocol"])
+
+
+class TestOtherCommands:
+    def test_protocols_listing(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "one-fail-adaptive" in output
+        assert "required knowledge" in output
+
+    def test_figure1_forwarding(self, capsys):
+        assert main(["figure1", "--max-k", "100", "--runs", "1", "--quiet"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table1_forwarding(self, capsys):
+        assert main(["table1", "--max-k", "100", "--runs", "1", "--quiet"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end on a tiny instance."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "500")
+        assert result.returncode == 0, result.stderr
+        assert "One-fail Adaptive" in result.stdout
+        assert "Exp Back-on/Back-off" in result.stdout
+
+    def test_compare_protocols(self):
+        result = run_example("compare_protocols.py", "100", "2")
+        assert result.returncode == 0, result.stderr
+        assert "steps/node" in result.stdout
+        assert "legend:" in result.stdout
+
+    def test_dynamic_arrivals(self):
+        result = run_example("dynamic_arrivals.py", "24", "2")
+        assert result.returncode == 0, result.stderr
+        assert "mean latency" in result.stdout
+
+    def test_parameter_sweep(self):
+        result = run_example("parameter_sweep.py", "200", "2")
+        assert result.returncode == 0, result.stderr
+        assert "best delta" in result.stdout
+
+    def test_inspect_protocol_trace(self):
+        result = run_example("inspect_protocol_trace.py", "6")
+        assert result.returncode == 0, result.stderr
+        assert "Density estimator" in result.stdout
+        assert "Binary splitting" in result.stdout

@@ -1,0 +1,112 @@
+"""Property-based tests for the analysis toolkit."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.balls_in_bins import (
+    collision_probability_upper_bound,
+    expected_singletons,
+    singleton_probability,
+)
+from repro.analysis.chernoff import chernoff_lower_tail, chernoff_upper_tail, hoeffding_bound
+from repro.analysis.statistics import summarize_makespans
+from repro.core import analysis
+
+
+class TestBallsInBinsProperties:
+    @given(m=st.integers(min_value=1, max_value=5_000), w=st.integers(min_value=1, max_value=5_000))
+    @settings(max_examples=100, deadline=None)
+    def test_singleton_probability_in_unit_interval(self, m, w):
+        assert 0.0 <= singleton_probability(m, w) <= 1.0
+
+    @given(m=st.integers(min_value=1, max_value=2_000))
+    @settings(max_examples=100, deadline=None)
+    def test_expected_singletons_at_most_m_and_w(self, m):
+        w = m
+        value = expected_singletons(m, w)
+        assert 0.0 <= value <= m
+
+    @given(m=st.integers(min_value=2, max_value=3_000))
+    @settings(max_examples=100, deadline=None)
+    def test_lemma1_lower_bound_on_singleton_probability(self, m):
+        """(1/m)(1 - 1/m)^{m-1} >= 1/(e m): the first inequality of Lemma 1's proof."""
+        per_bin = (1.0 / m) * (1.0 - 1.0 / m) ** (m - 1)
+        assert per_bin >= 1.0 / (math.e * m) - 1e-15
+
+    @given(
+        m=st.integers(min_value=1, max_value=1_000),
+        w=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_collision_union_bound_in_unit_interval(self, m, w):
+        assert 0.0 <= collision_probability_upper_bound(m, w) <= 1.0
+
+
+class TestChernoffProperties:
+    @given(mu=st.floats(min_value=0.1, max_value=1e6), phi=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_lower_tail_in_unit_interval(self, mu, phi):
+        assert 0.0 <= chernoff_lower_tail(mu, phi) <= 1.0
+
+    @given(mu=st.floats(min_value=0.1, max_value=1e6), phi=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_upper_tail_in_unit_interval(self, mu, phi):
+        assert 0.0 <= chernoff_upper_tail(mu, phi) <= 1.0
+
+    @given(n=st.integers(min_value=1, max_value=10**6), t=st.floats(min_value=1e-3, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_hoeffding_in_unit_interval(self, n, t):
+        assert 0.0 <= hoeffding_bound(n, t) <= 1.0
+
+
+class TestTheoremBoundProperties:
+    @given(k=st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=100, deadline=None)
+    def test_ofa_bound_at_least_linear_term(self, k):
+        assert analysis.ofa_makespan_bound(k) >= analysis.ofa_leading_constant() * k
+
+    @given(k=st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=100, deadline=None)
+    def test_ofa_success_probability_valid(self, k):
+        assert 0.0 <= analysis.ofa_success_probability(k) < 1.0
+
+    @given(
+        k=st.integers(min_value=1, max_value=10**7),
+        delta=st.floats(min_value=0.01, max_value=0.36),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ebb_bound_is_monotone_in_k(self, k, delta):
+        assert analysis.ebb_makespan_bound(k + 1, delta) > analysis.ebb_makespan_bound(k, delta)
+
+    @given(
+        xi_t=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lfa_constant_exceeds_fair_optimum(self, xi_t):
+        assert analysis.lfa_leading_constant(xi_t) > analysis.fair_protocol_optimal_ratio()
+
+
+class TestStatisticsProperties:
+    @given(samples=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_summary_orderings(self, samples):
+        stats = summarize_makespans(samples)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.median <= stats.p90 <= stats.maximum
+        assert stats.std >= 0.0
+
+    @given(
+        samples=st.lists(st.integers(min_value=1, max_value=10**6), min_size=2, max_size=200),
+        shift=st.integers(min_value=1, max_value=1_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_summary_translation_equivariance(self, samples, shift):
+        base = summarize_makespans(samples)
+        moved = summarize_makespans([sample + shift for sample in samples])
+        assert math.isclose(moved.mean, base.mean + shift, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(moved.std, base.std, rel_tol=1e-6, abs_tol=1e-5)

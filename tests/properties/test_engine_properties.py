@@ -1,0 +1,92 @@
+"""Property-based tests for engine invariants.
+
+Whatever the protocol parameters, seeds and network sizes, a solved simulation
+must satisfy the structural invariants of the k-selection problem: exactly k
+successful slots, a makespan of at least k and equal to the slot of the last
+success plus one, and outcome counts that partition the simulated slots.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.trace import ExecutionTrace
+from repro.core.constants import EBB_DELTA_MAX, OFA_DELTA_MAX, OFA_DELTA_MIN
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.fair_engine import FairEngine
+from repro.engine.window_engine import WindowEngine
+from repro.engine.slot_engine import SlotEngine
+
+small_k = st.integers(min_value=1, max_value=60)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ofa_deltas = st.floats(
+    min_value=OFA_DELTA_MIN + 1e-6, max_value=OFA_DELTA_MAX, exclude_min=True, allow_nan=False
+)
+ebb_deltas = st.floats(min_value=0.05, max_value=EBB_DELTA_MAX - 1e-6, allow_nan=False)
+
+
+def check_solved_invariants(result, k):
+    assert result.solved
+    assert result.successes == k
+    assert result.makespan >= k
+    assert result.makespan <= result.slots_simulated
+    assert result.successes + result.collisions + result.silences == result.slots_simulated
+
+
+class TestFairEngineProperties:
+    @given(k=small_k, seed=seeds, delta=ofa_deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_solved_run_invariants(self, k, seed, delta):
+        result = FairEngine().simulate(OneFailAdaptive(delta=delta), k, seed=seed)
+        check_solved_invariants(result, k)
+
+    @given(k=small_k, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_trace_consistent_with_result(self, k, seed):
+        trace = ExecutionTrace()
+        result = FairEngine().simulate(OneFailAdaptive(), k, seed=seed, trace=trace)
+        assert trace.successes == k
+        assert trace.success_slots()[-1] + 1 == result.makespan
+
+
+class TestWindowEngineProperties:
+    @given(k=small_k, seed=seeds, delta=ebb_deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_solved_run_invariants(self, k, seed, delta):
+        result = WindowEngine().simulate(ExpBackonBackoff(delta=delta), k, seed=seed)
+        assert result.solved
+        assert result.successes == k
+        assert result.makespan >= k
+        assert result.makespan <= result.slots_simulated
+
+    @given(k=small_k, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_trace_successes_equal_k(self, k, seed):
+        trace = ExecutionTrace()
+        result = WindowEngine().simulate(ExpBackonBackoff(), k, seed=seed, trace=trace)
+        assert trace.successes == k
+        assert trace.success_slots()[-1] + 1 == result.makespan
+
+
+class TestSlotEngineProperties:
+    @given(k=st.integers(min_value=1, max_value=25), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_solved_run_invariants_ofa(self, k, seed):
+        result = SlotEngine().simulate(OneFailAdaptive(), k, seed=seed)
+        check_solved_invariants(result, k)
+
+    @given(k=st.integers(min_value=1, max_value=25), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_solved_run_invariants_ebb(self, k, seed):
+        result = SlotEngine().simulate(ExpBackonBackoff(), k, seed=seed)
+        check_solved_invariants(result, k)
+
+    @given(k=st.integers(min_value=1, max_value=20), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, k, seed):
+        first = SlotEngine().simulate(OneFailAdaptive(), k, seed=seed)
+        second = SlotEngine().simulate(OneFailAdaptive(), k, seed=seed)
+        assert first.makespan == second.makespan
+        assert first.collisions == second.collisions

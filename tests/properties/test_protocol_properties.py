@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for protocol invariants.
+
+These check the invariants the analysis relies on over the whole parameter
+space and over arbitrary feedback histories, not just the happy path:
+
+* transmission probabilities are always valid probabilities;
+* One-fail Adaptive's density estimator never drops below its floor ``δ + 1``
+  and moves exactly as Algorithm 1 dictates;
+* windowed protocols transmit exactly once per window, whatever the schedule;
+* Exp Back-on/Back-off's window schedule is exactly the sawtooth of
+  Algorithm 2 for every admissible δ.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.model import Observation
+from repro.core.constants import EBB_DELTA_MAX, OFA_DELTA_MAX, OFA_DELTA_MIN
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+# Strategy for feedback histories: True = a message was received in that slot.
+feedback_history = st.lists(st.booleans(), min_size=0, max_size=300)
+
+ofa_deltas = st.floats(
+    min_value=OFA_DELTA_MIN + 1e-6,
+    max_value=OFA_DELTA_MAX,
+    exclude_min=True,
+    allow_nan=False,
+)
+
+ebb_deltas = st.floats(
+    min_value=1e-3,
+    max_value=EBB_DELTA_MAX - 1e-6,
+    allow_nan=False,
+)
+
+
+def replay(protocol, history):
+    """Feed a reception/noise history to a protocol, slot by slot."""
+    for slot, received in enumerate(history):
+        yield slot, protocol.transmission_probability(slot)
+        protocol.notify(
+            Observation(slot=slot, transmitted=False, received=received, delivered=False)
+        )
+
+
+class TestOneFailAdaptiveProperties:
+    @given(delta=ofa_deltas, history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_always_valid(self, delta, history):
+        protocol = OneFailAdaptive(delta=delta)
+        for _, probability in replay(protocol, history):
+            assert 0.0 < probability <= 1.0
+
+    @given(delta=ofa_deltas, history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_estimator_never_below_floor(self, delta, history):
+        protocol = OneFailAdaptive(delta=delta)
+        for _ in replay(protocol, history):
+            pass
+        assert protocol.density_estimate >= delta + 1.0 - 1e-9
+
+    @given(history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_equals_number_of_receptions(self, history):
+        protocol = OneFailAdaptive()
+        for _ in replay(protocol, history):
+            pass
+        assert protocol.messages_received == sum(history)
+
+    @given(delta=ofa_deltas, history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_estimator_bounded_by_silent_at_steps(self, delta, history):
+        """κ̃ can exceed its start only through the +1 of silent AT steps."""
+        protocol = OneFailAdaptive(delta=delta)
+        for _ in replay(protocol, history):
+            pass
+        at_steps = sum(1 for slot in range(len(history)) if not OneFailAdaptive.is_bt_step(slot))
+        assert protocol.density_estimate <= delta + 1.0 + at_steps + 1e-9
+
+    @given(history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_bt_probability_depends_only_on_sigma(self, history):
+        protocol = OneFailAdaptive()
+        for _ in replay(protocol, history):
+            pass
+        sigma = protocol.messages_received
+        expected = 1.0 / (1.0 + math.log2(sigma + 1))
+        bt_slot = 2 * len(history) + 1  # any BT slot index beyond the history
+        assert protocol.transmission_probability(bt_slot) == expected
+
+
+class TestLogFailsAdaptiveProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=10_000),
+        xi_t=st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+        history=feedback_history,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_always_valid(self, k, xi_t, history):
+        protocol = LogFailsAdaptive.for_k(k, xi_t=xi_t)
+        for _, probability in replay(protocol, history):
+            assert 0.0 < probability <= 1.0
+
+    @given(k=st.integers(min_value=2, max_value=10_000), history=feedback_history)
+    @settings(max_examples=60, deadline=None)
+    def test_estimator_at_least_one(self, k, history):
+        protocol = LogFailsAdaptive.for_k(k)
+        for _ in replay(protocol, history):
+            pass
+        assert protocol.density_estimate >= 1.0
+
+    @given(xi_t=st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_bt_step_fraction_matches_xi_t(self, xi_t):
+        protocol = LogFailsAdaptive(epsilon=0.01, xi_t=xi_t)
+        horizon = 5_000
+        fraction = sum(protocol.is_bt_step(slot) for slot in range(horizon)) / horizon
+        assert abs(fraction - xi_t) < 0.01
+
+
+class TestExpBackonBackoffProperties:
+    @given(delta=ebb_deltas)
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_matches_algorithm2(self, delta):
+        protocol = ExpBackonBackoff(delta=delta)
+        expected = []
+        for phase in range(1, 6):
+            w = float(2**phase)
+            while w >= 1.0:
+                expected.append(int(math.ceil(w)))
+                w *= 1.0 - delta
+        actual = list(itertools.islice(protocol.window_lengths(), len(expected)))
+        assert actual == expected
+
+    @given(delta=ebb_deltas, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_one_transmission_per_window(self, delta, seed):
+        protocol = ExpBackonBackoff(delta=delta)
+        node = protocol.spawn()
+        rng = np.random.default_rng(seed)
+        lengths = list(itertools.islice(protocol.window_lengths(), 5))
+        decisions = [node.will_transmit(slot, rng) for slot in range(sum(lengths))]
+        start = 0
+        for length in lengths:
+            assert sum(decisions[start : start + length]) == 1
+            start += length
+
+    @given(delta=ebb_deltas)
+    @settings(max_examples=40, deadline=None)
+    def test_rounds_per_phase_nondecreasing(self, delta):
+        protocol = ExpBackonBackoff(delta=delta)
+        rounds = [protocol.rounds_in_phase(phase) for phase in range(1, 10)]
+        assert all(a <= b for a, b in zip(rounds, rounds[1:]))

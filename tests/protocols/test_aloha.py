@@ -1,0 +1,66 @@
+"""Tests for the slotted-ALOHA yardstick protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.model import Observation
+from repro.engine.fair_engine import FairEngine
+from repro.protocols.aloha import SlottedAloha
+from repro.util.rng import derive_seeds
+
+
+def reception(slot: int) -> Observation:
+    return Observation(slot=slot, transmitted=False, received=True, delivered=False)
+
+
+class TestSlottedAloha:
+    def test_requires_k(self):
+        assert "k" in SlottedAloha.requires_knowledge
+
+    def test_initial_probability(self):
+        assert SlottedAloha(k=50).transmission_probability(0) == pytest.approx(1 / 50)
+
+    def test_probability_tracks_deliveries(self):
+        protocol = SlottedAloha(k=10)
+        for slot in range(4):
+            protocol.notify(reception(slot))
+        assert protocol.remaining_estimate == 6
+        assert protocol.transmission_probability(4) == pytest.approx(1 / 6)
+
+    def test_static_variant_ignores_deliveries(self):
+        protocol = SlottedAloha(k=10, track_deliveries=False)
+        for slot in range(4):
+            protocol.notify(reception(slot))
+        assert protocol.transmission_probability(4) == pytest.approx(1 / 10)
+
+    def test_estimate_never_below_one(self):
+        protocol = SlottedAloha(k=3)
+        for slot in range(10):
+            protocol.notify(reception(slot))
+        assert protocol.remaining_estimate == 1
+        assert protocol.transmission_probability(10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SlottedAloha(k=0)
+
+    def test_reset_restores_k(self):
+        protocol = SlottedAloha(k=5)
+        protocol.notify(reception(0))
+        protocol.reset()
+        assert protocol.remaining_estimate == 5
+
+
+class TestAlohaIsTheFairOptimum:
+    def test_ratio_close_to_e(self):
+        """The genie-aided ALOHA achieves the e steps/node optimum of Section 5."""
+        engine = FairEngine()
+        k = 3_000
+        ratios = []
+        for seed in derive_seeds(5, 5):
+            result = engine.simulate(SlottedAloha(k=k), k, seed=seed)
+            assert result.solved
+            ratios.append(result.steps_per_node)
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 2.45 < mean_ratio < 3.0  # e = 2.718...

@@ -1,0 +1,137 @@
+"""Tests for the monotone windowed back-off family (Bender et al.)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.protocols.backoff import (
+    ExponentialBackoff,
+    LogBackoff,
+    LogLogIteratedBackoff,
+    PolynomialBackoff,
+    WindowBackoffProtocol,
+)
+
+
+def first_windows(protocol, count: int) -> list[int]:
+    return list(itertools.islice(protocol.window_lengths(), count))
+
+
+class TestExponentialBackoff:
+    def test_binary_schedule(self):
+        assert first_windows(ExponentialBackoff(r=2), 5) == [2, 4, 8, 16, 32]
+
+    def test_general_base(self):
+        windows = first_windows(ExponentialBackoff(r=3), 4)
+        assert windows == [3, 9, 27, 81]
+
+    def test_base_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(r=1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(r=0.5)
+
+
+class TestPolynomialBackoff:
+    def test_quadratic_schedule(self):
+        assert first_windows(PolynomialBackoff(r=2), 5) == [1, 4, 9, 16, 25]
+
+    def test_non_integer_exponent(self):
+        windows = first_windows(PolynomialBackoff(r=1.5), 4)
+        assert windows == [1, math.ceil(2**1.5), math.ceil(3**1.5), 8]
+
+    def test_exponent_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            PolynomialBackoff(r=1.0)
+
+
+class TestLogBackoff:
+    def test_growth_factor(self):
+        protocol = LogBackoff(r=8.0)
+        windows = first_windows(protocol, 3)
+        assert windows[0] == 8
+        # next size = 8 * (1 + 1/log2(8)) = 8 * 4/3
+        assert windows[1] == math.ceil(8 * (1 + 1 / 3))
+
+    def test_monotone_non_decreasing(self):
+        windows = first_windows(LogBackoff(), 200)
+        assert all(a <= b for a, b in zip(windows, windows[1:]))
+
+
+class TestLogLogIteratedBackoff:
+    def test_default_seed_is_two(self):
+        assert first_windows(LogLogIteratedBackoff(), 1)[0] == 2
+
+    def test_growth_factor_once_defined(self):
+        protocol = LogLogIteratedBackoff(r=256.0)
+        windows = first_windows(protocol, 2)
+        # lg 256 = 8, lglg 256 = 3 -> next = 256 * (1 + 1/3)
+        assert windows[1] == math.ceil(256 * (1 + 1 / 3))
+
+    def test_small_windows_grow_by_doubling(self):
+        # While lg w <= 2 the growth denominator is clamped to 1 (factor 2).
+        windows = first_windows(LogLogIteratedBackoff(), 3)
+        assert windows[:2] == [2, 4]
+
+    def test_monotone_non_decreasing(self):
+        windows = first_windows(LogLogIteratedBackoff(), 100)
+        assert all(a <= b for a, b in zip(windows, windows[1:]))
+
+    def test_grows_slower_than_exponential(self):
+        llib = first_windows(LogLogIteratedBackoff(), 30)
+        exp = first_windows(ExponentialBackoff(r=2), 30)
+        assert llib[-1] < exp[-1]
+
+    def test_grows_faster_than_log_backoff_eventually(self):
+        llib = first_windows(LogLogIteratedBackoff(), 100)
+        logb = first_windows(LogBackoff(), 100)
+        assert llib[-1] > logb[-1]
+
+    def test_reaches_large_sizes_in_reasonable_round_count(self):
+        """Reaching window ~k takes O(lglg k * lg k) rounds (total time ~k lglg k)."""
+        windows = first_windows(LogLogIteratedBackoff(), 100)
+        assert max(windows) > 1e6
+
+
+class TestSafetyNets:
+    def test_runaway_schedule_rejected(self):
+        class Runaway(WindowBackoffProtocol):
+            name = "test-runaway"
+
+            def window_sequence(self):
+                yield 2.0**41
+
+        protocol = Runaway()
+        protocol.reset()
+        with pytest.raises(RuntimeError):
+            next(protocol.window_lengths())
+
+    def test_shrinking_schedule_rejected(self):
+        class Shrinking(WindowBackoffProtocol):
+            name = "test-shrinking"
+
+            def window_sequence(self):
+                yield 10.0
+                yield 5.0
+
+        protocol = Shrinking()
+        protocol.reset()
+        schedule = protocol.window_lengths()
+        assert next(schedule) == 10
+        with pytest.raises(RuntimeError):
+            next(schedule)
+
+    def test_sub_one_window_rejected(self):
+        class TooSmall(WindowBackoffProtocol):
+            name = "test-too-small"
+
+            def window_sequence(self):
+                yield 0.25
+
+        protocol = TooSmall()
+        protocol.reset()
+        with pytest.raises(ValueError):
+            next(protocol.window_lengths())

@@ -1,0 +1,146 @@
+"""Tests for Exp Back-on/Back-off (Algorithm 2) — window-schedule fidelity."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.constants import EBB_DELTA_DEFAULT, EBB_DELTA_MAX
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+
+
+def first_windows(protocol: ExpBackonBackoff, count: int) -> list[int]:
+    return list(itertools.islice(protocol.window_lengths(), count))
+
+
+class TestParameterValidation:
+    def test_default_is_papers_delta(self):
+        assert ExpBackonBackoff().delta == pytest.approx(EBB_DELTA_DEFAULT)
+
+    def test_delta_must_be_below_inverse_e(self):
+        with pytest.raises(ValueError):
+            ExpBackonBackoff(delta=EBB_DELTA_MAX)
+        with pytest.raises(ValueError):
+            ExpBackonBackoff(delta=0.5)
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExpBackonBackoff(delta=0.0)
+
+    def test_range_enforcement_can_be_disabled(self):
+        assert ExpBackonBackoff(delta=0.5, enforce_theorem_range=False).delta == 0.5
+
+    def test_max_phase_validated(self):
+        with pytest.raises(ValueError):
+            ExpBackonBackoff(max_phase=0)
+
+    def test_requires_no_knowledge(self):
+        assert ExpBackonBackoff.requires_knowledge == frozenset()
+
+
+class TestWindowSchedule:
+    def test_phase_one_starts_at_two(self):
+        assert first_windows(ExpBackonBackoff(), 1)[0] == 2
+
+    def test_schedule_prefix_matches_algorithm2(self):
+        """Recompute the schedule independently and compare a long prefix."""
+        delta = EBB_DELTA_DEFAULT
+        expected = []
+        for phase in range(1, 8):
+            w = float(2**phase)
+            while w >= 1.0:
+                expected.append(int(math.ceil(w)))
+                w *= 1.0 - delta
+        assert first_windows(ExpBackonBackoff(), len(expected)) == expected
+
+    def test_every_phase_restarts_at_power_of_two(self):
+        protocol = ExpBackonBackoff()
+        windows = first_windows(protocol, 200)
+        # Locate phase starts: a window strictly larger than its predecessor.
+        starts = [windows[0]] + [b for a, b in zip(windows, windows[1:]) if b > a]
+        for phase, start in enumerate(starts, start=1):
+            assert start == 2**phase
+
+    def test_windows_within_phase_decrease(self):
+        protocol = ExpBackonBackoff(delta=0.3)
+        windows = first_windows(protocol, 50)
+        for a, b in zip(windows, windows[1:]):
+            if b <= a:  # inside a phase
+                assert b >= math.floor(a * (1 - 0.3))
+
+    def test_windows_never_below_one(self):
+        assert all(w >= 1 for w in first_windows(ExpBackonBackoff(), 500))
+
+    def test_rounds_in_phase_matches_iteration(self):
+        protocol = ExpBackonBackoff()
+        windows = first_windows(protocol, 1_000)
+        # Count consecutive non-increasing runs per phase for the first phases.
+        phase = 1
+        index = 0
+        while phase <= 6:
+            expected_rounds = protocol.rounds_in_phase(phase)
+            run = windows[index : index + expected_rounds]
+            assert run[0] == 2**phase
+            if expected_rounds > 1:
+                assert all(a >= b for a, b in zip(run, run[1:]))
+            index += expected_rounds
+            phase += 1
+
+    def test_rounds_in_phase_formula_lower_bound(self):
+        protocol = ExpBackonBackoff()
+        for phase in (1, 3, 6, 10):
+            # w = 2^phase (1-delta)^j >= 1 has about phase/log2(1/(1-delta)) solutions.
+            approx = phase / math.log2(1.0 / (1.0 - protocol.delta)) + 1
+            assert abs(protocol.rounds_in_phase(phase) - approx) <= 1.5
+
+    def test_phase_of_window(self):
+        protocol = ExpBackonBackoff()
+        rounds_one = protocol.rounds_in_phase(1)
+        assert protocol.phase_of_window(0) == 1
+        assert protocol.phase_of_window(rounds_one - 1) == 1
+        assert protocol.phase_of_window(rounds_one) == 2
+
+    def test_phase_of_window_validates_input(self):
+        with pytest.raises(ValueError):
+            ExpBackonBackoff().phase_of_window(-1)
+
+    def test_rounds_in_phase_validates_input(self):
+        with pytest.raises(ValueError):
+            ExpBackonBackoff().rounds_in_phase(0)
+
+    def test_schedule_is_finite_safety_net(self):
+        protocol = ExpBackonBackoff(max_phase=3)
+        windows = list(protocol.window_lengths())
+        assert windows[0] == 2
+        assert max(windows) == 8
+
+    def test_total_slots_up_to_phase_matches_theorem_telescoping(self):
+        """The telescoped total of Theorem 2 upper-bounds the schedule length."""
+        protocol = ExpBackonBackoff()
+        target_phase = 10
+        total = 0
+        schedule = protocol.window_lengths()
+        for window_index in itertools.count():
+            if protocol.phase_of_window(window_index) > target_phase:
+                break
+            total += next(schedule)
+        # Sum of phases 1..p of 2^i * sum_j (1-delta)^j <= 2^(p+1) / delta, plus
+        # rounding slack of one slot per window.
+        bound = 2 ** (target_phase + 1) / protocol.delta + 3 * protocol.rounds_in_phase(
+            target_phase
+        ) * target_phase
+        assert total <= bound
+
+
+class TestDeltaInfluence:
+    def test_smaller_delta_means_more_rounds_per_phase(self):
+        gentle = ExpBackonBackoff(delta=0.05)
+        aggressive = ExpBackonBackoff(delta=0.35)
+        assert gentle.rounds_in_phase(8) > aggressive.rounds_in_phase(8)
+
+    def test_analysis_constant_decreases_with_delta(self):
+        from repro.core.analysis import ebb_leading_constant
+
+        assert ebb_leading_constant(0.1) > ebb_leading_constant(0.3)

@@ -1,0 +1,186 @@
+"""Tests for the Log-fails Adaptive reconstruction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.channel.model import Observation
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+
+
+def reception(slot: int) -> Observation:
+    return Observation(slot=slot, transmitted=False, received=True, delivered=False)
+
+
+def noise(slot: int) -> Observation:
+    return Observation(slot=slot, transmitted=False, received=False, delivered=False)
+
+
+class TestConstruction:
+    def test_for_k_uses_papers_epsilon(self):
+        protocol = LogFailsAdaptive.for_k(999)
+        assert protocol.epsilon == pytest.approx(1.0 / 1000)
+
+    def test_epsilon_range_enforced(self):
+        with pytest.raises(ValueError):
+            LogFailsAdaptive(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LogFailsAdaptive(epsilon=1.0)
+
+    def test_xi_t_range_enforced(self):
+        with pytest.raises(ValueError):
+            LogFailsAdaptive(epsilon=0.01, xi_t=0.0)
+        with pytest.raises(ValueError):
+            LogFailsAdaptive(epsilon=0.01, xi_t=1.0)
+
+    def test_for_k_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            LogFailsAdaptive.for_k(0)
+
+    def test_declares_epsilon_knowledge(self):
+        assert "epsilon" in LogFailsAdaptive.requires_knowledge
+
+
+class TestSchedule:
+    def test_xi_t_half_matches_even_steps(self):
+        protocol = LogFailsAdaptive.for_k(100, xi_t=0.5)
+        parities = [protocol.is_bt_step(slot) for slot in range(8)]
+        assert parities == [False, True, False, True, False, True, False, True]
+
+    def test_xi_t_tenth_means_one_in_ten(self):
+        protocol = LogFailsAdaptive.for_k(100, xi_t=0.1)
+        bt_steps = sum(protocol.is_bt_step(slot) for slot in range(1_000))
+        assert bt_steps == 100
+
+    def test_bt_fraction_matches_xi_t_generally(self):
+        for xi_t in (0.2, 0.3, 0.7):
+            protocol = LogFailsAdaptive(epsilon=0.01, xi_t=xi_t)
+            fraction = sum(protocol.is_bt_step(slot) for slot in range(10_000)) / 10_000
+            assert fraction == pytest.approx(xi_t, abs=0.001)
+
+
+class TestProbabilities:
+    def test_bt_probability_formula(self):
+        protocol = LogFailsAdaptive.for_k(1_023)  # epsilon = 1/1024
+        assert protocol.bt_probability == pytest.approx(1.0 / (1.0 + 10.0))
+
+    def test_bt_step_uses_fixed_probability(self):
+        protocol = LogFailsAdaptive.for_k(100, xi_t=0.5)
+        bt_before = protocol.transmission_probability(1)
+        for slot in range(50):
+            protocol.notify(reception(slot))
+        assert protocol.transmission_probability(1) == pytest.approx(bt_before)
+
+    def test_at_step_uses_inverse_estimator(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        assert protocol.transmission_probability(0) == pytest.approx(
+            min(1.0, 1.0 / protocol.density_estimate)
+        )
+
+    def test_probabilities_valid_over_long_run(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        for slot in range(500):
+            p = protocol.transmission_probability(slot)
+            assert 0.0 < p <= 1.0
+            protocol.notify(noise(slot) if slot % 5 else reception(slot))
+
+
+class TestEstimatorDynamics:
+    def test_initial_estimate_is_one(self):
+        assert LogFailsAdaptive.for_k(100).density_estimate == 1.0
+
+    def test_failure_threshold_is_logarithmic(self):
+        protocol = LogFailsAdaptive.for_k(1_023, xi_beta=0.1)
+        expected = math.ceil((1.0 + 10.0) * 1.1)
+        assert protocol.failure_threshold == expected
+
+    def test_no_update_before_threshold(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        threshold = protocol.failure_threshold
+        for slot in range(threshold - 1):
+            protocol.notify(noise(slot))
+        assert protocol.density_estimate == 1.0
+
+    def test_first_correction_doubles(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        for slot in range(protocol.failure_threshold):
+            protocol.notify(noise(slot))
+        assert protocol.density_estimate == pytest.approx(2.0)
+
+    def test_alternating_search_explores_both_directions(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        threshold = protocol.failure_threshold
+        estimates = []
+        for block in range(4):
+            for slot in range(block * threshold, (block + 1) * threshold):
+                protocol.notify(noise(slot))
+            estimates.append(protocol.density_estimate)
+        # Anchor is 1.0: the search visits 2, max(1/2 -> 1), 4, 1 (floored).
+        assert estimates[0] == pytest.approx(2.0)
+        assert estimates[1] == pytest.approx(1.0)
+        assert estimates[2] == pytest.approx(4.0)
+        assert estimates[3] == pytest.approx(1.0)
+
+    def test_reception_decrements_and_resets_search(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        for slot in range(protocol.failure_threshold):
+            protocol.notify(noise(slot))
+        assert protocol.search_index == 1
+        before = protocol.density_estimate
+        protocol.notify(reception(1_000))
+        assert protocol.search_index == 0
+        assert protocol.failure_streak == 0
+        assert protocol.density_estimate == pytest.approx(max(before - 1.1, 1.0))
+
+    def test_estimate_never_below_one(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        for slot in range(200):
+            protocol.notify(reception(slot))
+        assert protocol.density_estimate >= 1.0
+
+    def test_own_delivery_leaves_state_unchanged(self):
+        protocol = LogFailsAdaptive.for_k(100)
+        protocol.notify(noise(0))
+        streak = protocol.failure_streak
+        protocol.notify(Observation(slot=1, transmitted=True, received=False, delivered=True))
+        assert protocol.failure_streak == streak
+
+    def test_search_exponent_bounded_and_wraps(self):
+        """The coarse correction never explores beyond ~2/epsilon and never overflows."""
+        protocol = LogFailsAdaptive.for_k(100)
+        threshold = protocol.failure_threshold
+        cap = 2.0 ** protocol.max_search_exponent
+        slot = 0
+        estimates = []
+        # Far more silent blocks than the sweep length: the search must wrap.
+        for _ in range(10 * protocol.max_search_exponent):
+            for _ in range(threshold):
+                protocol.notify(noise(slot))
+                slot += 1
+            estimates.append(protocol.density_estimate)
+        assert max(estimates) <= cap
+        assert min(estimates) >= 1.0
+        # After wrapping, small exploration values appear again late in the run.
+        late = estimates[len(estimates) // 2 :]
+        assert min(late) <= 4.0
+
+    def test_max_search_exponent_formula(self):
+        protocol = LogFailsAdaptive.for_k(1_023)  # epsilon = 1/1024
+        assert protocol.max_search_exponent == 11
+
+    def test_ramp_up_reaches_large_values_geometrically(self):
+        """The search ramps the estimate to ~k within O(log k) corrections."""
+        protocol = LogFailsAdaptive.for_k(10_000)
+        threshold = protocol.failure_threshold
+        corrections = 0
+        slot = 0
+        while protocol.density_estimate < 5_000:
+            for _ in range(threshold):
+                protocol.notify(noise(slot))
+                slot += 1
+            corrections += 1
+            assert corrections < 60, "estimator failed to ramp up geometrically"
+        # Odd search indices go up by 2, 4, 8, ...: reaching 2^13 needs ~2*13 blocks.
+        assert corrections <= 2 * math.ceil(math.log2(5_000)) + 2

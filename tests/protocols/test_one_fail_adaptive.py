@@ -1,0 +1,176 @@
+"""Tests for One-fail Adaptive (Algorithm 1) — line-by-line fidelity checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.channel.model import Observation
+from repro.core.constants import OFA_DELTA_DEFAULT, OFA_DELTA_MAX
+from repro.core.one_fail_adaptive import OneFailAdaptive
+
+
+def reception(slot: int) -> Observation:
+    return Observation(slot=slot, transmitted=False, received=True, delivered=False)
+
+
+def noise(slot: int) -> Observation:
+    return Observation(slot=slot, transmitted=False, received=False, delivered=False)
+
+
+class TestParameterValidation:
+    def test_default_is_papers_delta(self):
+        assert OneFailAdaptive().delta == pytest.approx(2.72)
+
+    def test_delta_must_exceed_e(self):
+        with pytest.raises(ValueError):
+            OneFailAdaptive(delta=math.e)
+
+    def test_delta_upper_bound_inclusive(self):
+        assert OneFailAdaptive(delta=OFA_DELTA_MAX).delta == pytest.approx(OFA_DELTA_MAX)
+        with pytest.raises(ValueError):
+            OneFailAdaptive(delta=OFA_DELTA_MAX + 0.01)
+
+    def test_range_enforcement_can_be_disabled(self):
+        assert OneFailAdaptive(delta=2.0, enforce_theorem_range=False).delta == 2.0
+
+    def test_non_positive_delta_always_rejected(self):
+        with pytest.raises(ValueError):
+            OneFailAdaptive(delta=-1.0, enforce_theorem_range=False)
+
+    def test_requires_no_knowledge(self):
+        assert OneFailAdaptive.requires_knowledge == frozenset()
+
+
+class TestInitialState:
+    def test_line2_density_estimator(self):
+        protocol = OneFailAdaptive()
+        assert protocol.density_estimate == pytest.approx(protocol.delta + 1.0)
+
+    def test_line3_sigma_zero(self):
+        assert OneFailAdaptive().messages_received == 0
+
+    def test_reset_restores_initial_state(self):
+        protocol = OneFailAdaptive()
+        protocol.notify(reception(0))
+        protocol.reset()
+        assert protocol.messages_received == 0
+        assert protocol.density_estimate == pytest.approx(protocol.delta + 1.0)
+
+
+class TestStepParity:
+    def test_slot0_is_at_step(self):
+        # Communication step 1 is odd, hence an AT step.
+        assert not OneFailAdaptive.is_bt_step(0)
+
+    def test_slot1_is_bt_step(self):
+        assert OneFailAdaptive.is_bt_step(1)
+
+    def test_parity_alternates(self):
+        parities = [OneFailAdaptive.is_bt_step(slot) for slot in range(6)]
+        assert parities == [False, True, False, True, False, True]
+
+
+class TestTransmissionProbabilities:
+    def test_at_step_uses_inverse_estimator(self):
+        protocol = OneFailAdaptive()
+        assert protocol.transmission_probability(0) == pytest.approx(1.0 / (protocol.delta + 1.0))
+
+    def test_bt_step_initial_probability_is_one(self):
+        # sigma = 0 -> 1/(1 + log2(1)) = 1.
+        assert OneFailAdaptive().transmission_probability(1) == pytest.approx(1.0)
+
+    def test_bt_step_probability_decreases_with_sigma(self):
+        protocol = OneFailAdaptive()
+        previous = protocol.transmission_probability(1)
+        for slot in range(1, 40, 2):
+            protocol.notify(reception(slot))
+            current = protocol.transmission_probability(slot + 2)
+            assert current <= previous
+            previous = current
+
+    def test_bt_probability_formula(self):
+        protocol = OneFailAdaptive()
+        for sigma, slot in enumerate(range(1, 21, 2), start=1):
+            protocol.notify(reception(slot))
+            expected = 1.0 / (1.0 + math.log2(sigma + 1))
+            assert protocol.transmission_probability(slot + 2) == pytest.approx(expected)
+
+    def test_probabilities_always_valid(self):
+        protocol = OneFailAdaptive()
+        for slot in range(200):
+            p = protocol.transmission_probability(slot)
+            assert 0.0 < p <= 1.0
+            protocol.notify(noise(slot) if slot % 3 else reception(slot))
+
+
+class TestEstimatorDynamics:
+    def test_line11_increment_on_silent_at_step(self):
+        protocol = OneFailAdaptive()
+        initial = protocol.density_estimate
+        protocol.notify(noise(0))  # AT step without reception
+        assert protocol.density_estimate == pytest.approx(initial + 1.0)
+
+    def test_no_increment_on_silent_bt_step(self):
+        protocol = OneFailAdaptive()
+        initial = protocol.density_estimate
+        protocol.notify(noise(1))  # BT step without reception
+        assert protocol.density_estimate == pytest.approx(initial)
+
+    def test_line16_bt_reception_decrement(self):
+        protocol = OneFailAdaptive()
+        # First grow the estimator above the floor so the decrement is visible.
+        for slot in range(0, 20, 2):
+            protocol.notify(noise(slot))
+        before = protocol.density_estimate
+        protocol.notify(reception(21))  # BT step (slot 21 -> step 22, even)
+        assert protocol.density_estimate == pytest.approx(
+            max(before - protocol.delta, protocol.delta + 1.0)
+        )
+
+    def test_line18_at_reception_net_effect(self):
+        protocol = OneFailAdaptive()
+        for slot in range(0, 20, 2):
+            protocol.notify(noise(slot))
+        before = protocol.density_estimate
+        protocol.notify(reception(20))  # AT step: +1 then -(delta+1)
+        assert protocol.density_estimate == pytest.approx(
+            max(before + 1.0 - protocol.delta - 1.0, protocol.delta + 1.0)
+        )
+
+    def test_estimator_never_below_floor(self):
+        protocol = OneFailAdaptive()
+        for slot in range(100):
+            protocol.notify(reception(slot))
+            assert protocol.density_estimate >= protocol.delta + 1.0 - 1e-12
+
+    def test_sigma_counts_receptions_only(self):
+        protocol = OneFailAdaptive()
+        protocol.notify(noise(0))
+        protocol.notify(reception(1))
+        protocol.notify(noise(2))
+        protocol.notify(reception(3))
+        assert protocol.messages_received == 2
+
+    def test_own_delivery_does_not_change_state(self):
+        protocol = OneFailAdaptive()
+        before = (protocol.density_estimate, protocol.messages_received)
+        protocol.notify(Observation(slot=0, transmitted=True, received=False, delivered=True))
+        # Task 1 increment still applies on the AT step; sigma unchanged.
+        assert protocol.messages_received == before[1]
+
+    def test_estimator_tracks_contention_upward_under_silence(self):
+        protocol = OneFailAdaptive()
+        for slot in range(0, 2_000):
+            protocol.notify(noise(slot))
+        # 1000 AT steps -> estimator grew by ~1000.
+        assert protocol.density_estimate == pytest.approx(protocol.delta + 1.0 + 1_000)
+
+
+class TestDescribeAndLabel:
+    def test_label(self):
+        assert OneFailAdaptive.label == "One-Fail Adaptive"
+
+    def test_describe_contains_delta(self):
+        assert OneFailAdaptive().describe()["parameters"]["delta"] == pytest.approx(2.72)

@@ -1,0 +1,62 @@
+"""Tests for the table formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_markdown_table, format_text_table
+
+
+class TestMarkdownTable:
+    def test_basic_structure(self):
+        table = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_float_formatting(self):
+        table = format_markdown_table(["x"], [[3.14159]], float_format=".2f")
+        assert "3.14" in table
+        assert "3.14159" not in table
+
+    def test_integer_not_float_formatted(self):
+        table = format_markdown_table(["x"], [[10]])
+        assert "| 10" in table
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_cells_aligned(self):
+        table = format_markdown_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = table.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_empty_rows_ok(self):
+        table = format_markdown_table(["a"], [])
+        assert table.count("\n") == 1
+
+
+class TestTextTable:
+    def test_basic_structure(self):
+        table = format_text_table(["a", "bb"], [[1, 2]])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_no_pipes(self):
+        table = format_text_table(["a"], [[1]])
+        assert "|" not in table
+
+    def test_column_gap(self):
+        table = format_text_table(["a", "b"], [[1, 2]], column_gap=4)
+        assert "a    b" in table.splitlines()[0]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_text_table(["a"], [[1, 2]])
+
+    def test_float_format_applied(self):
+        table = format_text_table(["x"], [[0.123456]], float_format=".3f")
+        assert "0.123" in table

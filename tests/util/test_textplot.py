@@ -1,0 +1,65 @@
+"""Tests for the ASCII log-log plot renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.textplot import LogLogPlot, render_series
+
+
+class TestLogLogPlot:
+    def test_render_contains_markers_and_legend(self):
+        plot = LogLogPlot(width=40, height=10, x_label="k", y_label="steps")
+        plot.add_series("ofa", [10, 100, 1000], [74, 740, 7400])
+        text = plot.render()
+        assert "o" in text
+        assert "legend:" in text
+        assert "ofa" in text
+
+    def test_two_series_use_distinct_markers(self):
+        plot = LogLogPlot(width=40, height=10)
+        plot.add_series("first", [1, 10], [1, 10])
+        plot.add_series("second", [1, 10], [2, 20])
+        text = plot.render()
+        assert "o = first" in text
+        assert "x = second" in text
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            LogLogPlot().render()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            LogLogPlot().add_series("empty", [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LogLogPlot().add_series("bad", [1, 2], [1])
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            LogLogPlot().add_series("bad", [0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            LogLogPlot().add_series("bad", [1, 2], [1, -3])
+
+    def test_grid_dimensions(self):
+        plot = LogLogPlot(width=30, height=8)
+        plot.add_series("s", [1, 100], [1, 100])
+        lines = plot.render().splitlines()
+        # height grid rows + axis row + 2 caption rows + legend header + 1 entry
+        assert len(lines) == 8 + 1 + 2 + 1 + 1
+
+    def test_single_point_series(self):
+        plot = LogLogPlot(width=20, height=5)
+        plot.add_series("point", [5], [50])
+        assert "o" in plot.render()
+
+
+class TestRenderSeries:
+    def test_wrapper_equivalent(self):
+        text = render_series({"a": ([1, 10], [2, 20])}, width=20, height=5)
+        assert "a" in text and "o" in text
+
+    def test_axis_labels_present(self):
+        text = render_series({"a": ([1, 10], [2, 20])}, x_label="nodes", y_label="slots")
+        assert "nodes" in text and "slots" in text
