@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Fast benchmark smoke target: exercises each benchmark harness path that is
+# cheap enough for CI (currently the parallel-execution fidelity checks)
+# without running the full sweeps.  Usage:  sh scripts/bench_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"

@@ -110,8 +110,10 @@ class ChannelModel:
     detection and implicit acknowledgement of successful transmissions.
     Setting ``acknowledgements=False`` models channels without an ACK
     mechanism, in which stations never learn that their own transmission
-    succeeded; none of the paper's protocols are designed for that setting,
-    but the flag allows exploring it.
+    succeeded.  None of the paper's protocols can *terminate* in that setting
+    (a station that never learns of its delivery never retires), so the
+    simulation engines reject such channels up front; the flag remains for
+    reasoning about :meth:`observe` feedback in isolation.
     """
 
     feedback: FeedbackModel = FeedbackModel.NO_COLLISION_DETECTION

@@ -22,6 +22,7 @@ are the ones used for the large sweeps of the evaluation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.channel.arrivals import ArrivalProcess, BatchArrival
@@ -114,6 +115,15 @@ class RadioNetwork:
         self.protocol_prototype = protocol
         self.arrivals = arrivals
         self.channel = channel if channel is not None else ChannelModel()
+        if not self.channel.acknowledgements:
+            # Without acknowledgements a successful transmitter never learns
+            # of its delivery, so it stays active and the run is guaranteed to
+            # burn to the slot cap; fail loudly instead of timing out.
+            raise ValueError(
+                "RadioNetwork requires a channel with acknowledgements: under "
+                "acknowledgements=False no station ever retires, so k-selection "
+                "cannot terminate and every run would hit the slot cap"
+            )
         self.seed = seed
         self.k = arrivals.total_messages
         self.max_slots = max_slots if max_slots is not None else _DEFAULT_SLOT_FACTOR * self.k
@@ -155,7 +165,10 @@ class RadioNetwork:
             )
 
         nodes: list[Node] = []
-        pending_events = list(events)
+        # A deque keeps the per-slot arrival check O(1) per event; bursty and
+        # Poisson schedules can hold one event per message, and list.pop(0)
+        # would make the arrival phase quadratic in the number of events.
+        pending_events = deque(events)
         delivered = 0
         successes = collisions = silences = 0
         delivery_slots: list[int] = []
@@ -179,7 +192,7 @@ class RadioNetwork:
 
             # 1. arrivals
             while pending_events and pending_events[0].slot <= slot:
-                event = pending_events.pop(0)
+                event = pending_events.popleft()
                 for _ in range(event.count):
                     node_id = len(nodes)
                     node = Node(

@@ -3,15 +3,19 @@
 Subcommands:
 
 * ``simulate``  — run one protocol on one network size and print the result;
+  ``--arrivals poisson|bursty`` runs the dynamic variant through the same
+  front door (``--rate``, ``--bursts``, ``--gap`` tune the process);
 * ``figure1``   — reproduce Figure 1 (delegates to
   :mod:`repro.experiments.figure1`);
 * ``table1``    — reproduce Table 1 (delegates to
   :mod:`repro.experiments.table1`);
+* ``dynamic``   — the dynamic-arrivals experiment (delegates to
+  :mod:`repro.experiments.dynamic`);
 * ``protocols`` — list the registered protocols and the knowledge they need.
 
-The figure/table subcommands accept the same flags as their ``python -m``
-counterparts (``--max-k``, ``--runs``, ``--seed``, ``--output-dir``,
-``--quiet``).
+The figure/table/dynamic subcommands accept the same flags as their
+``python -m`` counterparts (``--max-k``, ``--runs``, ``--seed``,
+``--workers``, ``--output-dir``, ``--quiet``).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.channel.arrivals import ArrivalProcess, BurstyArrival, PoissonArrival
 from repro.core.exp_backon_backoff import ExpBackonBackoff
 from repro.core.one_fail_adaptive import OneFailAdaptive
 from repro.engine.dispatch import simulate
@@ -29,7 +34,7 @@ from repro.protocols.base import Protocol, available_protocols, get_protocol_cla
 from repro.protocols.log_fails_adaptive import LogFailsAdaptive
 from repro.util.tables import format_text_table
 
-__all__ = ["main", "build_protocol"]
+__all__ = ["main", "build_protocol", "build_arrivals"]
 
 
 def build_protocol(name: str, k: int, delta: float | None = None, xi_t: float = 0.5) -> Protocol:
@@ -58,20 +63,54 @@ def build_protocol(name: str, k: int, delta: float | None = None, xi_t: float = 
     return get_protocol_class(name)()
 
 
+def build_arrivals(
+    kind: str,
+    k: int,
+    rate: float = 0.1,
+    bursts: int = 4,
+    gap: int | None = None,
+) -> ArrivalProcess | None:
+    """Build the arrival process selected by the ``--arrivals`` flag.
+
+    ``"batch"`` returns ``None`` (the static default of :func:`simulate`);
+    ``"poisson"`` injects ``k`` messages at ``rate`` per slot; ``"bursty"``
+    splits ``k`` into ``bursts`` batches ``gap`` slots apart.
+    """
+    if kind == "batch":
+        return None
+    if kind == "poisson":
+        return PoissonArrival(k=k, rate=rate)
+    if kind == "bursty":
+        if bursts < 1:
+            raise ValueError(f"--bursts must be positive, got {bursts}")
+        burst_size, leftover = divmod(k, bursts)
+        if burst_size < 1 or leftover:
+            raise ValueError(f"k={k} must be a positive multiple of --bursts={bursts}")
+        return BurstyArrival(bursts=bursts, burst_size=burst_size, gap=gap if gap is not None else k)
+    raise ValueError(f"unknown arrival process {kind!r}; choose from batch, poisson, bursty")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     protocol = build_protocol(args.protocol, k=args.k, delta=args.delta, xi_t=args.xi_t)
-    result = simulate(protocol, k=args.k, seed=args.seed, engine=args.engine)
+    arrivals = build_arrivals(
+        args.arrivals, k=args.k, rate=args.rate, bursts=args.bursts, gap=args.gap
+    )
+    result = simulate(protocol, k=args.k, seed=args.seed, engine=args.engine, arrivals=arrivals)
     rows = [
         ["protocol", protocol.label],
         ["k", args.k],
         ["seed", args.seed],
         ["engine", result.engine],
+        ["arrivals", result.metadata.get("arrivals", "BatchArrival")],
         ["solved", result.solved],
         ["makespan (slots)", result.makespan if result.makespan is not None else "-"],
         ["steps per node", f"{result.steps_per_node:.3f}" if result.solved else "-"],
         ["collisions", result.collisions],
         ["silent slots", result.silences],
     ]
+    latencies = result.metadata.get("latencies")
+    if latencies:
+        rows.append(["mean latency (slots)", f"{sum(latencies) / len(latencies):.1f}"])
     print(format_text_table(["metric", "value"], rows))
     return 0 if result.solved else 1
 
@@ -98,6 +137,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return table1_main(args.rest)
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.experiments.dynamic import main as dynamic_main
+
+    return dynamic_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -112,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--engine", default="auto", choices=["auto", "fair", "window", "slot"])
     sim.add_argument("--delta", type=float, default=None, help="protocol delta (paper default if omitted)")
     sim.add_argument("--xi-t", dest="xi_t", type=float, default=0.5, help="xi_t for log-fails-adaptive")
+    sim.add_argument(
+        "--arrivals",
+        default="batch",
+        choices=["batch", "poisson", "bursty"],
+        help="arrival process (batch = the paper's static k-selection)",
+    )
+    sim.add_argument("--rate", type=float, default=0.1, help="per-slot rate for --arrivals poisson")
+    sim.add_argument("--bursts", type=int, default=4, help="number of bursts for --arrivals bursty")
+    sim.add_argument(
+        "--gap", type=int, default=None, help="slots between bursts for --arrivals bursty (default k)"
+    )
     sim.set_defaults(func=_cmd_simulate)
 
     protocols = subparsers.add_parser("protocols", help="list registered protocols")
@@ -125,20 +181,28 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("rest", nargs=argparse.REMAINDER)
     table1.set_defaults(func=_cmd_table1)
 
+    dynamic = subparsers.add_parser(
+        "dynamic", help="dynamic-arrivals experiment (forwards remaining flags)"
+    )
+    dynamic.add_argument("rest", nargs=argparse.REMAINDER)
+    dynamic.set_defaults(func=_cmd_dynamic)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    # The figure1/table1 subcommands forward *all* remaining flags to the
-    # experiment scripts; argparse's REMAINDER does not reliably capture
+    # The figure1/table1/dynamic subcommands forward *all* remaining flags to
+    # the experiment scripts; argparse's REMAINDER does not reliably capture
     # leading optionals, so forward them before involving the parser.
-    if arguments and arguments[0] in {"figure1", "table1"}:
+    if arguments and arguments[0] in {"figure1", "table1", "dynamic"}:
         if arguments[0] == "figure1":
             from repro.experiments.figure1 import main as forwarded
-        else:
+        elif arguments[0] == "table1":
             from repro.experiments.table1 import main as forwarded
+        else:
+            from repro.experiments.dynamic import main as forwarded
         return forwarded(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)

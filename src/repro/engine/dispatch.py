@@ -4,10 +4,17 @@ Most callers (examples, experiments, tests) just want "run protocol P with k
 contenders and seed s"; :func:`simulate` picks the cheapest engine that is
 exact for the given protocol class and returns a
 :class:`~repro.engine.result.SimulationResult`.
+
+Dynamic workloads go through the same front door: passing an
+``arrivals=`` process (e.g. :class:`~repro.channel.arrivals.PoissonArrival`)
+routes the run to the node-level :class:`SlotEngine`, the only engine whose
+semantics cover staggered arrivals, so the runner, CLI and sweep machinery
+need no special-casing for the paper's open dynamic problem.
 """
 
 from __future__ import annotations
 
+from repro.channel.arrivals import ArrivalProcess
 from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
 from repro.engine.fair_engine import FairEngine
@@ -25,7 +32,12 @@ _ENGINES = {
 }
 
 
-def pick_engine(protocol: Protocol, engine: str = "auto", channel: ChannelModel | None = None):
+def pick_engine(
+    protocol: Protocol,
+    engine: str = "auto",
+    channel: ChannelModel | None = None,
+    arrivals: ArrivalProcess | None = None,
+):
     """Instantiate the engine to use for ``protocol``.
 
     ``engine`` may be ``"auto"`` (default) or one of ``"slot"``, ``"fair"``,
@@ -34,7 +46,16 @@ def pick_engine(protocol: Protocol, engine: str = "auto", channel: ChannelModel 
     engine for windowed protocols, and the node-level engine otherwise (or
     whenever a non-default channel model is requested, since the specialised
     engines only implement the paper's channel).
+
+    When an explicit ``arrivals`` process is given the node-level engine is
+    mandatory — the fair and window reductions assume every station starts at
+    slot 0 — so ``engine`` must be ``"auto"`` or ``"slot"``.
     """
+    if arrivals is not None and engine not in ("auto", "slot"):
+        raise ValueError(
+            f"engine {engine!r} does not support arrival processes; only the "
+            "node-level 'slot' engine simulates staggered arrivals"
+        )
     if engine != "auto":
         try:
             engine_cls = _ENGINES[engine]
@@ -43,6 +64,8 @@ def pick_engine(protocol: Protocol, engine: str = "auto", channel: ChannelModel 
                 f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
             ) from None
         return engine_cls(channel=channel) if channel is not None else engine_cls()
+    if arrivals is not None:
+        return SlotEngine(channel=channel) if channel is not None else SlotEngine()
 
     default_channel = channel is None or channel == ChannelModel()
     if default_channel and isinstance(protocol, FairProtocol):
@@ -60,8 +83,9 @@ def simulate(
     channel: ChannelModel | None = None,
     max_slots: int | None = None,
     trace: ExecutionTrace | None = None,
+    arrivals: ArrivalProcess | None = None,
 ) -> SimulationResult:
-    """Simulate one static k-selection instance and return its result.
+    """Simulate one k-selection instance and return its result.
 
     This is the main entry point of the library::
 
@@ -69,6 +93,24 @@ def simulate(
 
         result = simulate(OneFailAdaptive(), k=1000, seed=42)
         print(result.makespan, result.steps_per_node)
+
+    Static k-selection (the paper's setting) is the default; dynamic
+    workloads pass an explicit arrival process::
+
+        from repro import PoissonArrival
+
+        result = simulate(OneFailAdaptive(), k=64, seed=42,
+                          arrivals=PoissonArrival(k=64, rate=0.1))
+        print(result.metadata["latencies"])  # per-message delivery latencies
     """
-    chosen = pick_engine(protocol, engine=engine, channel=channel)
+    if arrivals is not None and arrivals.total_messages != k:
+        raise ValueError(
+            f"k={k} disagrees with the arrival process, which injects "
+            f"{arrivals.total_messages} messages; pass k=arrivals.total_messages"
+        )
+    chosen = pick_engine(protocol, engine=engine, channel=channel, arrivals=arrivals)
+    if arrivals is not None:
+        return chosen.simulate(
+            protocol, k, seed=seed, max_slots=max_slots, trace=trace, arrivals=arrivals
+        )
     return chosen.simulate(protocol, k, seed=seed, max_slots=max_slots, trace=trace)

@@ -21,8 +21,9 @@ class SimulationResult:
     k:
         Number of messages injected.
     slots_simulated:
-        Slots actually processed by the engine (for windowed engines this can
-        exceed the makespan because the final window is simulated in full).
+        Slots actually processed by the engine.  For solved runs every engine
+        stops at the slot of the final delivery, so this equals ``makespan``;
+        for unsolved runs it is the slot cap that was hit.
     successes, collisions, silences:
         Slot-outcome counts over the simulated slots.
     protocol:

@@ -26,6 +26,11 @@ class SlotEngine:
 
     def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
         self.channel = channel if channel is not None else ChannelModel()
+        if not self.channel.acknowledgements:
+            raise ValueError(
+                "SlotEngine requires a channel with acknowledgements: without them "
+                "no station ever retires and k-selection cannot terminate"
+            )
         self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
 
     def simulate(
@@ -64,7 +69,19 @@ class SlotEngine:
             seed=seed,
             max_slots=max_slots if max_slots is not None else self.max_slots_factor * process.total_messages,
         )
-        raw = network.run(trace=trace)
+        raw = network.run(trace=trace, collect_node_summaries=arrivals is not None)
+        metadata: dict[str, object] = {"arrivals": process.describe()["type"]}
+        if arrivals is not None:
+            # Per-message delivery latency (delivery slot − arrival slot) is
+            # the quantity a dynamic analysis would bound; expose it so the
+            # dynamic experiment can aggregate through the simulate() front
+            # door instead of driving RadioNetwork directly.
+            metadata["latencies"] = tuple(
+                int(summary["delivery_slot"]) - int(summary["activation_slot"])
+                for summary in raw.node_summaries
+                if summary["delivery_slot"] is not None
+                and summary["activation_slot"] is not None
+            )
         return SimulationResult(
             solved=raw.solved,
             makespan=raw.makespan,
@@ -76,5 +93,5 @@ class SlotEngine:
             protocol=protocol.name,
             engine=self.name,
             seed=seed,
-            metadata={"arrivals": process.describe()["type"]},
+            metadata=metadata,
         )

@@ -99,16 +99,28 @@ class WindowEngine:
             singleton_slots = np.flatnonzero(occupancy == 1)
             delivered = int(singleton_slots.size)
 
+            # The node-level engine stops at the slot of the final delivery;
+            # when this window solves the instance, truncate the trailing
+            # slots so counters and traces agree with it.
+            if delivered == remaining:
+                simulated_length = int(singleton_slots.max()) + 1
+                occupancy = occupancy[:simulated_length]
+            else:
+                simulated_length = length
+
             successes += delivered
             collisions += int(np.count_nonzero(occupancy >= 2))
             silences += int(np.count_nonzero(occupancy == 0))
 
             if delivered > 0:
                 last_delivery = window_start + int(singleton_slots.max())
-                remaining -= delivered
 
             if trace is not None:
-                for offset in range(length):
+                # Stations committed to their slots at the window start, but a
+                # station that delivers becomes idle for the rest of the
+                # window, so the active count decreases at every singleton.
+                active = remaining
+                for offset in range(simulated_length):
                     count = int(occupancy[offset])
                     outcome = (
                         SlotOutcome.SILENCE
@@ -122,11 +134,14 @@ class WindowEngine:
                             slot=window_start + offset,
                             transmitters=count,
                             outcome=outcome,
-                            active_before=remaining + delivered,
+                            active_before=active,
                         )
                     )
+                    if count == 1:
+                        active -= 1
 
-            window_start += length
+            remaining -= delivered
+            window_start += simulated_length
             windows_processed += 1
 
         return SimulationResult(

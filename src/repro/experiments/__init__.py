@@ -5,6 +5,9 @@
   Section 5), and environment-variable overrides for scale.
 * :mod:`repro.experiments.runner` — generic (protocol × k × seeds) sweep
   runner returning per-cell statistics.
+* :mod:`repro.experiments.parallel` — the process-pool execution layer the
+  runner fans its independent work units out over (``workers=1`` falls back
+  to a serial in-process loop).
 * :mod:`repro.experiments.figure1` — reproduces Figure 1 (average steps vs k).
 * :mod:`repro.experiments.table1` — reproduces Table 1 (steps/k ratios plus
   the analysis column).
@@ -23,6 +26,7 @@ from repro.experiments.config import (
     paper_k_values,
     paper_protocol_suite,
 )
+from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
 from repro.experiments.runner import SweepCell, SweepResult, run_sweep
 from repro.experiments.figure1 import Figure1Result, reproduce_figure1
 from repro.experiments.table1 import Table1Result, reproduce_table1
@@ -35,6 +39,9 @@ __all__ = [
     "ProtocolSpec",
     "paper_k_values",
     "paper_protocol_suite",
+    "ParallelExecutor",
+    "SimulationUnit",
+    "UnitOutcome",
     "SweepCell",
     "SweepResult",
     "run_sweep",

@@ -175,12 +175,19 @@ def paper_protocol_suite(
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Configuration of a Figure 1 / Table 1 style sweep."""
+    """Configuration of a Figure 1 / Table 1 style sweep.
+
+    ``workers`` is the default process count used by
+    :func:`~repro.experiments.runner.run_sweep`: ``1`` keeps the historical
+    serial behaviour, ``0`` means one worker per CPU.  Seeds are derived
+    before dispatch, so the worker count never changes the results.
+    """
 
     k_values: Sequence[int] = field(default_factory=paper_k_values)
     runs: int = DEFAULT_RUNS
     seed: int = 2011  # year of the paper; any fixed value works
     max_slots_factor: int = 10_000
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.k_values:
@@ -191,6 +198,8 @@ class ExperimentConfig:
             raise ValueError(f"runs must be positive, got {self.runs}")
         if self.max_slots_factor < 2:
             raise ValueError(f"max_slots_factor must be at least 2, got {self.max_slots_factor}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0 (0 = one per CPU), got {self.workers}")
 
     def describe(self) -> dict[str, object]:
         return {
@@ -198,4 +207,5 @@ class ExperimentConfig:
             "runs": self.runs,
             "seed": self.seed,
             "max_slots_factor": self.max_slots_factor,
+            "workers": self.workers,
         }

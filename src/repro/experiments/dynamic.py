@@ -9,28 +9,36 @@ exercises the same protocols under the two dynamic arrival processes of
 * Poisson arrivals at a configurable per-slot rate, and
 * bursty arrivals (batches of ``burst_size`` every ``gap`` slots).
 
-Because arrival times differ per node, the fair-protocol reduction no longer
-applies and the exact node-level engine is used; sizes are therefore kept
-moderate.  The reported metrics are the makespan (slot of the last delivery)
-and the mean per-message delivery latency (delivery slot − arrival slot),
-which is the quantity a dynamic analysis would bound.
+Every run goes through the ordinary :func:`repro.engine.dispatch.simulate`
+front door with an explicit ``arrivals=`` process, which routes it to the
+exact node-level engine (the fair and window reductions assume batched
+arrivals); the runs of a cell are independent, so they fan out over a
+:class:`~repro.experiments.parallel.ParallelExecutor` exactly like the static
+sweeps.  The reported metrics are the makespan (slot of the last delivery)
+and the per-message delivery latency (delivery slot − arrival slot), which is
+the quantity a dynamic analysis would bound.
+
+Run from the command line with::
+
+    python -m repro dynamic --k 64 --runs 5 --workers 0
 """
 
 from __future__ import annotations
 
+import argparse
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.channel.arrivals import ArrivalProcess, BurstyArrival, PoissonArrival
-from repro.channel.radio_network import RadioNetwork
 from repro.core.exp_backon_backoff import ExpBackonBackoff
 from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.experiments.parallel import ParallelExecutor, SimulationUnit
 from repro.protocols.base import Protocol
 from repro.util.rng import derive_seeds
 from repro.util.tables import format_text_table
 
-__all__ = ["DynamicResult", "run_dynamic_experiment"]
+__all__ = ["DynamicResult", "run_dynamic_experiment", "main"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,7 @@ def run_dynamic_experiment(
     seed: int = 23,
     protocols: Sequence[tuple[str, Protocol]] | None = None,
     arrival_factories: Sequence[tuple[str, ArrivalProcess]] | None = None,
+    workers: int = 1,
 ) -> DynamicResult:
     """Measure makespan and delivery latency under dynamic arrivals.
 
@@ -111,6 +120,9 @@ def run_dynamic_experiment(
         Root seed.
     protocols, arrival_factories:
         Optional overrides of the default protocol and arrival-process sets.
+    workers:
+        Worker processes (``1`` = serial, ``0`` = one per CPU); per-run seeds
+        are derived up front, so the results do not depend on this.
     """
     if k < 2:
         raise ValueError(f"k must be at least 2, got {k}")
@@ -118,41 +130,77 @@ def run_dynamic_experiment(
     arrival_set = (
         list(arrival_factories) if arrival_factories is not None else _default_arrivals(k)
     )
-    cells: list[DynamicCell] = []
+
+    units: list[SimulationUnit] = []
+    cell_order: list[tuple[str, str, ArrivalProcess]] = []
     for protocol_index, (protocol_label, protocol) in enumerate(protocol_set):
         for arrival_index, (arrival_label, arrivals) in enumerate(arrival_set):
             seeds = derive_seeds(seed + 101 * protocol_index + 13 * arrival_index, runs)
-            makespans: list[float] = []
-            latencies: list[float] = []
-            unsolved = 0
+            cell_order.append((protocol_label, arrival_label, arrivals))
             for run_seed in seeds:
-                network = RadioNetwork(
-                    protocol=protocol,
-                    arrivals=arrivals,
-                    seed=run_seed,
+                units.append(
+                    SimulationUnit(
+                        protocol=protocol,
+                        k=arrivals.total_messages,
+                        seed=run_seed,
+                        arrivals=arrivals,
+                        tag=(protocol_label, arrival_label),
+                    )
                 )
-                outcome = network.run(collect_node_summaries=True)
-                if not outcome.solved or outcome.makespan is None:
-                    unsolved += 1
-                    continue
-                makespans.append(float(outcome.makespan))
-                for summary in outcome.node_summaries:
-                    delivery = summary["delivery_slot"]
-                    activation = summary["activation_slot"]
-                    if delivery is not None and activation is not None:
-                        latencies.append(float(delivery) - float(activation))
-            if not makespans:
-                raise RuntimeError(
-                    f"dynamic experiment: no solved runs for {protocol_label} / {arrival_label}"
-                )
-            cells.append(
-                DynamicCell(
-                    protocol_label=protocol_label,
-                    arrivals_description=arrival_label,
-                    k=arrivals.total_messages,
-                    makespan=summarize_makespans(makespans),
-                    latency=summarize_makespans(latencies),
-                    unsolved_runs=unsolved,
-                )
+
+    outcomes = ParallelExecutor(workers=workers).run(units)
+
+    cells: list[DynamicCell] = []
+    for cell_index, (protocol_label, arrival_label, arrivals) in enumerate(cell_order):
+        cell_outcomes = outcomes[cell_index * runs : (cell_index + 1) * runs]
+        makespans: list[float] = []
+        latencies: list[float] = []
+        unsolved = 0
+        for outcome in cell_outcomes:
+            result = outcome.result
+            if not result.solved or result.makespan is None:
+                unsolved += 1
+                continue
+            makespans.append(float(result.makespan))
+            latencies.extend(float(latency) for latency in result.metadata["latencies"])
+        if not makespans:
+            raise RuntimeError(
+                f"dynamic experiment: no solved runs for {protocol_label} / {arrival_label}"
             )
+        cells.append(
+            DynamicCell(
+                protocol_label=protocol_label,
+                arrivals_description=arrival_label,
+                k=arrivals.total_messages,
+                makespan=summarize_makespans(makespans),
+                latency=summarize_makespans(latencies),
+                unsolved_runs=unsolved,
+            )
+        )
     return DynamicResult(cells=cells)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point (``python -m repro dynamic``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, default=64, help="messages injected per run")
+    parser.add_argument("--runs", type=int, default=5, help="repetitions per cell")
+    parser.add_argument("--seed", type=int, default=23, help="root seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU); results are identical for any value",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"Dynamic k-selection with k = {args.k} messages, {args.runs} runs per cell")
+    print("(node-level simulation; latency = delivery slot - arrival slot)")
+    print()
+    result = run_dynamic_experiment(k=args.k, runs=args.runs, seed=args.seed, workers=args.workers)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

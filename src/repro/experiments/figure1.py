@@ -117,6 +117,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runs", type=int, default=DEFAULT_RUNS, help="runs per (protocol, k)")
     parser.add_argument("--seed", type=int, default=2011, help="root seed of the sweep")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = one per CPU); results are identical for any value",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -129,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         k_values=paper_k_values(max_k=args.max_k),
         runs=args.runs,
         seed=args.seed,
+        workers=args.workers,
     )
     figure = reproduce_figure1(config=config, progress=not args.quiet)
 

@@ -1,0 +1,193 @@
+"""Parallel execution of independent simulation work units.
+
+Every experiment in this repository decomposes into *work units* — one
+``(protocol, k, seed)`` simulation each — that share no state: the per-unit
+seed is derived deterministically by the caller, so the units can run in any
+order, on any worker, and still produce bit-identical results.
+
+:class:`ParallelExecutor` exploits that: it fans a sequence of
+:class:`SimulationUnit` out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and returns the results *in submission order*, so callers that assemble cells
+from slices of the output cannot tell the difference from the serial path
+(except for the wall clock).  ``workers=1`` short-circuits to a plain
+in-process loop with no pickling or process-pool overhead, which keeps the
+serial path exactly as cheap — and exactly as debuggable — as before.
+
+Work units carry materialised protocol and arrival-process *instances* (not
+the factories of :class:`~repro.experiments.config.ProtocolSpec`, which are
+often lambdas and therefore unpicklable); all of the repository's protocol
+and arrival classes are plain attribute holders that pickle cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.channel.arrivals import ArrivalProcess
+from repro.engine.dispatch import simulate
+from repro.engine.result import SimulationResult
+from repro.protocols.base import Protocol
+
+__all__ = ["SimulationUnit", "UnitOutcome", "ParallelExecutor", "resolve_workers"]
+
+#: Cap on in-flight futures per worker; bounds parent-side memory for huge
+#: sweeps without starving the pool.
+_MAX_INFLIGHT_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class SimulationUnit:
+    """One independent simulation: everything :func:`simulate` needs.
+
+    Attributes
+    ----------
+    protocol:
+        Materialised protocol instance (spawned fresh inside the engine, so
+        sharing one instance across units is safe).
+    k:
+        Number of messages.
+    seed:
+        Root seed of the run (derived by the caller; determinism lives here).
+    engine:
+        Engine selector forwarded to :func:`repro.engine.dispatch.simulate`.
+    max_slots:
+        Safety cap forwarded to the engine.
+    arrivals:
+        Optional arrival process (routes the unit to the node-level engine).
+    tag:
+        Opaque caller marker (e.g. a ``(spec_key, k)`` cell id); carried
+        through to :class:`UnitOutcome` untouched.
+    """
+
+    protocol: Protocol
+    k: int
+    seed: int
+    engine: str = "auto"
+    max_slots: int | None = None
+    arrivals: ArrivalProcess | None = None
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """Result of one executed unit plus its execution cost."""
+
+    index: int
+    result: SimulationResult
+    elapsed_seconds: float
+    tag: object = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` request: ``None``/``0`` means "all CPUs"."""
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise ValueError(f"workers must be positive (or 0/None for all CPUs), got {workers}")
+    return workers
+
+
+def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
+    """Run one unit (module-level so process pools can pickle it)."""
+    started = time.perf_counter()
+    result = simulate(
+        unit.protocol,
+        unit.k,
+        seed=unit.seed,
+        engine=unit.engine,
+        max_slots=unit.max_slots,
+        arrivals=unit.arrivals,
+    )
+    return UnitOutcome(
+        index=index,
+        result=result,
+        elapsed_seconds=time.perf_counter() - started,
+        tag=unit.tag,
+    )
+
+
+@dataclass
+class ParallelExecutor:
+    """Run simulation units serially or across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything in
+        the calling process; ``None`` or ``0`` uses every CPU.
+
+    Results are returned in submission order regardless of completion order,
+    and per-unit seeds travel with the units, so a ``workers=N`` execution is
+    bit-identical to ``workers=1`` — the test suite asserts this.
+    """
+
+    workers: int | None = 1
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+
+    def run(
+        self,
+        units: Sequence[SimulationUnit],
+        progress: Callable[[UnitOutcome], None] | None = None,
+    ) -> list[UnitOutcome]:
+        """Execute every unit and return their outcomes in submission order.
+
+        ``progress`` (if given) is called once per completed unit — in
+        submission order on the serial path, in completion order on the
+        parallel path.
+        """
+        if self.workers == 1 or len(units) <= 1:
+            return self._run_serial(units, progress)
+        return self._run_pool(units, progress)
+
+    def _run_serial(
+        self,
+        units: Sequence[SimulationUnit],
+        progress: Callable[[UnitOutcome], None] | None,
+    ) -> list[UnitOutcome]:
+        outcomes = []
+        for index, unit in enumerate(units):
+            outcome = _execute_unit(index, unit)
+            if progress is not None:
+                progress(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_pool(
+        self,
+        units: Sequence[SimulationUnit],
+        progress: Callable[[UnitOutcome], None] | None,
+    ) -> list[UnitOutcome]:
+        max_inflight = self.workers * _MAX_INFLIGHT_PER_WORKER
+        outcomes: list[UnitOutcome | None] = [None] * len(units)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = set()
+            queued = enumerate(units)
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < max_inflight:
+                    try:
+                        index, unit = next(queued)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.add(pool.submit(_execute_unit, index, unit))
+                if not pending:
+                    break
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    outcomes[outcome.index] = outcome
+                    if progress is not None:
+                        progress(outcome)
+        # Callers slice the output positionally (cell = units[i*runs:(i+1)*runs]),
+        # so a lost unit must be an error, never a silently shorter list.
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise RuntimeError(f"process pool returned no outcome for units {missing}")
+        return outcomes

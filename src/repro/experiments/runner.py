@@ -5,18 +5,24 @@ sweep of the same shape: for each protocol specification and each network size
 ``k``, run a number of independently seeded simulations and aggregate their
 makespans.  :func:`run_sweep` implements that shape once; the experiment
 modules wrap it with the paper's specific protocol suites and presentation.
+
+The sweep's repetitions are mutually independent, so :func:`run_sweep`
+flattens the whole sweep into ``(protocol, k, seed)`` work units and hands
+them to a :class:`~repro.experiments.parallel.ParallelExecutor`.  Seeds are
+derived *before* dispatch, exactly as the serial path always derived them, so
+``workers=N`` produces bit-identical cells to ``workers=1``.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
-from repro.engine.dispatch import simulate
+from repro.channel.arrivals import ArrivalProcess
 from repro.engine.result import SimulationResult
 from repro.experiments.config import ExperimentConfig, ProtocolSpec
+from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
 from repro.util.rng import derive_seeds
 
 __all__ = ["SweepCell", "SweepResult", "run_sweep"]
@@ -27,7 +33,13 @@ ProgressCallback = Callable[[ProtocolSpec, int, int, int], None]
 
 @dataclass(frozen=True)
 class SweepCell:
-    """All runs of one (protocol, k) cell, plus their aggregates."""
+    """All runs of one (protocol, k) cell, plus their aggregates.
+
+    ``elapsed_seconds`` is the *aggregate simulation time* of the cell's runs
+    (the sum of per-run durations), not wall-clock time: with ``workers > 1``
+    the runs execute concurrently and interleaved with other cells, so the
+    sum is the only definition that is comparable across worker counts.
+    """
 
     spec_key: str
     label: str
@@ -101,6 +113,8 @@ def run_sweep(
     config: ExperimentConfig,
     engine: str = "auto",
     progress: ProgressCallback | None = None,
+    workers: int | None = None,
+    arrivals_factory: Callable[[int], ArrivalProcess] | None = None,
 ) -> SweepResult:
     """Run every (protocol, k, repetition) combination of the sweep.
 
@@ -108,45 +122,81 @@ def run_sweep(
     sweep is reproducible, and so that two protocols at the same (k, run
     index) face statistically independent randomness (they are different
     stochastic processes; sharing seeds would not make them comparable anyway).
+    Because every seed is fixed before any run starts, the results do not
+    depend on ``workers``: a parallel sweep is bit-identical to a serial one.
 
     Parameters
     ----------
     specs:
         Protocol specifications (one per curve).
     config:
-        Sizes, repetition count, root seed and safety caps.
+        Sizes, repetition count, root seed, safety caps and default worker
+        count.
     engine:
         Engine selector forwarded to :func:`repro.engine.dispatch.simulate`.
     progress:
-        Optional callback invoked after every completed run.
+        Optional callback invoked after every completed run.  With
+        ``workers > 1`` the callback fires in completion order; its
+        ``completed`` argument is always the number of runs done *in that
+        cell* so far.
+    workers:
+        Worker processes for the sweep; defaults to ``config.workers``.
+        ``1`` runs serially in-process, ``0``/``None`` at config level means
+        one worker per CPU.
+    arrivals_factory:
+        Optional mapping from ``k`` to an
+        :class:`~repro.channel.arrivals.ArrivalProcess`; when given, every
+        run goes through the node-level engine under that arrival process
+        (the dynamic workloads of the paper's Section 6).
     """
     if not specs:
         raise ValueError("run_sweep needs at least one protocol specification")
+    effective_workers = config.workers if workers is None else workers
     result = SweepResult(config=config, specs=list(specs))
+
+    units: list[SimulationUnit] = []
+    cell_order: list[tuple[ProtocolSpec, int]] = []
     for spec_index, spec in enumerate(specs):
         for k_index, k in enumerate(config.k_values):
             cell_seed_root = config.seed + 1_000_003 * spec_index + 7_919 * k_index
             seeds = derive_seeds(cell_seed_root, config.runs)
-            runs: list[SimulationResult] = []
-            started = time.perf_counter()
-            for run_index, seed in enumerate(seeds):
-                protocol = spec.build(k)
-                run = simulate(
-                    protocol,
-                    k,
-                    seed=seed,
-                    engine=engine,
-                    max_slots=config.max_slots_factor * k,
+            cell_order.append((spec, k))
+            arrivals = arrivals_factory(k) if arrivals_factory is not None else None
+            for seed in seeds:
+                units.append(
+                    SimulationUnit(
+                        protocol=spec.build(k),
+                        k=k,
+                        seed=seed,
+                        engine=engine,
+                        max_slots=config.max_slots_factor * k,
+                        arrivals=arrivals,
+                        tag=(spec.key, k),
+                    )
                 )
-                runs.append(run)
-                if progress is not None:
-                    progress(spec, k, run_index + 1, config.runs)
-            elapsed = time.perf_counter() - started
-            result.cells[(spec.key, k)] = SweepCell(
-                spec_key=spec.key,
-                label=spec.label,
-                k=k,
-                results=tuple(runs),
-                elapsed_seconds=elapsed,
-            )
+
+    completed_per_cell: dict[tuple[str, int], int] = {}
+    spec_by_key = {spec.key: spec for spec in specs}
+
+    def unit_progress(outcome: UnitOutcome) -> None:
+        if progress is None:
+            return
+        spec_key, k = outcome.tag
+        done = completed_per_cell.get((spec_key, k), 0) + 1
+        completed_per_cell[(spec_key, k)] = done
+        progress(spec_by_key[spec_key], k, done, config.runs)
+
+    outcomes = ParallelExecutor(workers=effective_workers).run(
+        units, progress=unit_progress if progress is not None else None
+    )
+
+    for cell_index, (spec, k) in enumerate(cell_order):
+        cell_outcomes = outcomes[cell_index * config.runs : (cell_index + 1) * config.runs]
+        result.cells[(spec.key, k)] = SweepCell(
+            spec_key=spec.key,
+            label=spec.label,
+            k=k,
+            results=tuple(outcome.result for outcome in cell_outcomes),
+            elapsed_seconds=sum(outcome.elapsed_seconds for outcome in cell_outcomes),
+        )
     return result

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.channel.arrivals import BurstyArrival, PoissonArrival
 from repro.channel.model import ChannelModel, FeedbackModel
 from repro.core.exp_backon_backoff import ExpBackonBackoff
 from repro.core.one_fail_adaptive import OneFailAdaptive
@@ -35,6 +36,18 @@ class TestPickEngine:
         with pytest.raises(ValueError):
             pick_engine(OneFailAdaptive(), engine="quantum")
 
+    def test_arrivals_force_slot_engine(self):
+        arrivals = PoissonArrival(k=10, rate=0.5)
+        assert isinstance(pick_engine(OneFailAdaptive(), arrivals=arrivals), SlotEngine)
+        assert isinstance(pick_engine(ExpBackonBackoff(), arrivals=arrivals), SlotEngine)
+
+    def test_arrivals_reject_specialised_engines(self):
+        arrivals = PoissonArrival(k=10, rate=0.5)
+        with pytest.raises(ValueError):
+            pick_engine(OneFailAdaptive(), engine="fair", arrivals=arrivals)
+        with pytest.raises(ValueError):
+            pick_engine(ExpBackonBackoff(), engine="window", arrivals=arrivals)
+
 
 class TestSimulateFrontDoor:
     def test_returns_solved_result(self):
@@ -59,3 +72,34 @@ class TestSimulateFrontDoor:
         assert simulate(OneFailAdaptive(), 80, seed=5).makespan == simulate(
             OneFailAdaptive(), 80, seed=5
         ).makespan
+
+
+class TestSimulateWithArrivals:
+    def test_poisson_arrivals_end_to_end(self):
+        result = simulate(OneFailAdaptive(), k=16, seed=2, arrivals=PoissonArrival(k=16, rate=0.2))
+        assert result.solved
+        assert result.engine == "slot"
+        assert result.metadata["arrivals"] == "PoissonArrival"
+        assert len(result.metadata["latencies"]) == 16
+        assert all(latency >= 0 for latency in result.metadata["latencies"])
+
+    def test_bursty_arrivals_end_to_end(self):
+        arrivals = BurstyArrival(bursts=2, burst_size=5, gap=100)
+        result = simulate(OneFailAdaptive(), k=10, seed=2, arrivals=arrivals)
+        assert result.solved
+        assert result.successes == 10
+
+    def test_windowed_protocol_with_arrivals_uses_slot_engine(self):
+        result = simulate(ExpBackonBackoff(), k=12, seed=1, arrivals=PoissonArrival(k=12, rate=0.3))
+        assert result.engine == "slot"
+        assert result.solved
+
+    def test_k_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(OneFailAdaptive(), k=5, seed=0, arrivals=PoissonArrival(k=6, rate=0.5))
+
+    def test_arrivals_reproducible(self):
+        arrivals = PoissonArrival(k=20, rate=0.1)
+        first = simulate(OneFailAdaptive(), k=20, seed=9, arrivals=arrivals)
+        second = simulate(OneFailAdaptive(), k=20, seed=9, arrivals=arrivals)
+        assert first == second

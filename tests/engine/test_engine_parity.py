@@ -1,0 +1,104 @@
+"""Cross-engine parity: structural invariants shared by every engine.
+
+The three engines sample the same stochastic process with different random
+streams, so their per-seed numbers differ; what must agree *exactly* is the
+shape of what they report.  Historically the window engine diverged from the
+node-level reference in two ways — it kept counting the final window past the
+last delivery, and its traces reported a constant ``active_before`` for every
+slot of a window — so these tests pin the shared contract for all engines:
+
+* solved runs stop at the final delivery (``slots_simulated == makespan``);
+* the outcome counters partition the simulated slots;
+* traces record the true per-slot active count, which starts at ``k`` and
+  decreases by exactly one at every success.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.model import SlotOutcome
+from repro.channel.trace import ExecutionTrace
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.fair_engine import FairEngine
+from repro.engine.slot_engine import SlotEngine
+from repro.engine.window_engine import WindowEngine
+
+#: (engine factory, protocol factory) pairs: each engine with a protocol it
+#: supports.  The slot engine is the reference; the other two must match its
+#: structure on both protocol classes they specialise.
+ENGINE_CASES = [
+    pytest.param(SlotEngine, OneFailAdaptive, id="slot-ofa"),
+    pytest.param(SlotEngine, ExpBackonBackoff, id="slot-ebb"),
+    pytest.param(FairEngine, OneFailAdaptive, id="fair-ofa"),
+    pytest.param(WindowEngine, ExpBackonBackoff, id="window-ebb"),
+]
+
+SEEDS = [0, 1, 7]
+K = 40
+
+
+@pytest.mark.parametrize("engine_cls,protocol_cls", ENGINE_CASES)
+class TestSolvedRunParity:
+    def test_stops_at_final_delivery(self, engine_cls, protocol_cls):
+        for seed in SEEDS:
+            result = engine_cls().simulate(protocol_cls(), K, seed=seed)
+            assert result.solved
+            assert result.slots_simulated == result.makespan
+
+    def test_counters_partition_slots(self, engine_cls, protocol_cls):
+        for seed in SEEDS:
+            result = engine_cls().simulate(protocol_cls(), K, seed=seed)
+            assert result.successes + result.collisions + result.silences == result.slots_simulated
+            assert result.successes == K
+
+    def test_trace_covers_simulated_slots(self, engine_cls, protocol_cls):
+        trace = ExecutionTrace()
+        result = engine_cls().simulate(protocol_cls(), K, seed=3, trace=trace)
+        assert len(trace) == result.slots_simulated
+        assert [record.slot for record in trace.records] == list(range(result.slots_simulated))
+
+    def test_trace_active_before_counts_down_at_successes(self, engine_cls, protocol_cls):
+        trace = ExecutionTrace()
+        engine_cls().simulate(protocol_cls(), K, seed=5, trace=trace)
+        active = K
+        for record in trace.records:
+            assert record.active_before == active
+            if record.outcome is SlotOutcome.SUCCESS:
+                active -= 1
+        assert active == 0
+
+    def test_trace_ends_with_success(self, engine_cls, protocol_cls):
+        trace = ExecutionTrace()
+        engine_cls().simulate(protocol_cls(), K, seed=9, trace=trace)
+        assert trace.records[-1].outcome is SlotOutcome.SUCCESS
+        assert trace.records[-1].active_before == 1
+
+
+class TestWindowEngineTruncationRegression:
+    """The specific divergences of the pre-fix window engine."""
+
+    def test_no_accounting_past_final_delivery(self, window_engine, slot_engine):
+        # Both engines must agree that a solved run simulates exactly
+        # `makespan` slots; before the fix the window engine counted the
+        # whole final window.
+        for seed in range(5):
+            window_result = window_engine.simulate(ExpBackonBackoff(), 25, seed=seed)
+            slot_result = slot_engine.simulate(ExpBackonBackoff(), 25, seed=seed)
+            assert window_result.slots_simulated == window_result.makespan
+            assert slot_result.slots_simulated == slot_result.makespan
+
+    def test_unsolved_runs_still_count_every_slot(self, window_engine):
+        result = window_engine.simulate(ExpBackonBackoff(), 1_000, seed=0, max_slots=50)
+        assert not result.solved
+        assert result.successes + result.collisions + result.silences == result.slots_simulated
+
+    def test_active_before_varies_within_window(self, window_engine):
+        # With enough deliveries per window, some window must contain two
+        # successes, so a constant per-window active count would be wrong.
+        trace = ExecutionTrace()
+        window_engine.simulate(ExpBackonBackoff(), 200, seed=2, trace=trace)
+        per_slot = [record.active_before for record in trace.records]
+        assert len(set(per_slot)) > 2
+        assert per_slot[0] == 200

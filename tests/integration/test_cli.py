@@ -55,6 +55,23 @@ class TestSimulateCommand:
         with pytest.raises(SystemExit):
             main(["simulate", "--protocol", "not-a-protocol"])
 
+    def test_poisson_arrivals(self, capsys):
+        assert main(["simulate", "--protocol", "one-fail-adaptive", "--k", "16",
+                     "--arrivals", "poisson", "--rate", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "PoissonArrival" in output
+        assert "mean latency" in output
+
+    def test_bursty_arrivals(self, capsys):
+        assert main(["simulate", "--protocol", "one-fail-adaptive", "--k", "16",
+                     "--arrivals", "bursty", "--bursts", "2", "--gap", "50"]) == 0
+        assert "BurstyArrival" in capsys.readouterr().out
+
+    def test_arrivals_reject_specialised_engine(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--protocol", "one-fail-adaptive", "--k", "16",
+                  "--arrivals", "poisson", "--engine", "fair"])
+
 
 class TestOtherCommands:
     def test_protocols_listing(self, capsys):
@@ -70,6 +87,17 @@ class TestOtherCommands:
     def test_table1_forwarding(self, capsys):
         assert main(["table1", "--max-k", "100", "--runs", "1", "--quiet"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_figure1_workers_flag(self, capsys):
+        assert main(["figure1", "--max-k", "100", "--runs", "1", "--quiet",
+                     "--workers", "2"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_dynamic_forwarding(self, capsys):
+        assert main(["dynamic", "--k", "16", "--runs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "mean latency" in output
+        assert "poisson" in output
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
