@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
 # Fast benchmark smoke target: exercises each benchmark harness path that is
-# cheap enough for CI (currently the parallel-execution fidelity checks)
-# without running the full sweeps.  Usage:  sh scripts/bench_smoke.sh
+# cheap enough for CI (the parallel-execution fidelity checks and the
+# batch-engine distributional/eligibility checks of bench_batch.py) without
+# running the full sweeps.  The full batch-speedup trajectory (writes
+# benchmark_results/BENCH_batch.json) runs with:
+#   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
+# Usage:  sh scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"

@@ -42,12 +42,14 @@ from repro.channel import (
 from repro.core import ExpBackonBackoff, OneFailAdaptive
 from repro.core import analysis as paper_analysis
 from repro.engine import (
+    BatchFairEngine,
     FairEngine,
     SimulationResult,
     SlotEngine,
     WindowEngine,
     compare_engines,
     simulate,
+    simulate_batch,
 )
 from repro.experiments import (
     ExperimentConfig,
@@ -96,10 +98,12 @@ __all__ = [
     "ExecutionTrace",
     # engines
     "simulate",
+    "simulate_batch",
     "SimulationResult",
     "FairEngine",
     "WindowEngine",
     "SlotEngine",
+    "BatchFairEngine",
     "compare_engines",
     # analysis & experiments
     "paper_analysis",

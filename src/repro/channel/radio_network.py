@@ -165,6 +165,12 @@ class RadioNetwork:
             )
 
         nodes: list[Node] = []
+        # The active set is maintained incrementally: nodes join on arrival
+        # and leave when their message is delivered (the only way a node goes
+        # idle, and at most one per slot).  Rescanning `nodes` every slot
+        # would cost O(total nodes ever created) per slot, which dominates
+        # long dynamic runs where most nodes are already done.
+        active_nodes: list[Node] = []
         # A deque keeps the per-slot arrival check O(1) per event; bursty and
         # Poisson schedules can hold one event per message, and list.pop(0)
         # would make the arrival phase quadratic in the number of events.
@@ -202,11 +208,16 @@ class RadioNetwork:
                     )
                     node.activate(Message(origin=node_id, arrival_slot=slot), slot)
                     nodes.append(node)
+                    active_nodes.append(node)
 
-            active_nodes = [node for node in nodes if node.is_active]
-
-            # 2. transmission decisions
-            transmitters = [node for node in active_nodes if node.decide_transmission(slot)]
+            # 2. transmission decisions (one flag per active node, so the
+            # feedback phase below tests membership in O(1) instead of
+            # scanning the transmitter list per node)
+            active_before = len(active_nodes)
+            decisions = [node.decide_transmission(slot) for node in active_nodes]
+            transmitters = [
+                node for node, transmitted in zip(active_nodes, decisions) if transmitted
+            ]
             outcome = resolve_slot(len(transmitters))
             if outcome is SlotOutcome.SUCCESS:
                 successes += 1
@@ -218,10 +229,10 @@ class RadioNetwork:
             successful_node = transmitters[0] if outcome is SlotOutcome.SUCCESS else None
 
             # 3. feedback
-            for node in active_nodes:
+            for node, transmitted in zip(active_nodes, decisions):
                 observation = self.channel.observe(
                     slot=slot,
-                    transmitted=node in transmitters,
+                    transmitted=transmitted,
                     outcome=outcome,
                     is_successful_transmitter=node is successful_node,
                 )
@@ -230,6 +241,7 @@ class RadioNetwork:
             if successful_node is not None and not successful_node.is_active:
                 delivered += 1
                 delivery_slots.append(slot)
+                active_nodes.remove(successful_node)
 
             if trace is not None:
                 trace.append(
@@ -237,7 +249,7 @@ class RadioNetwork:
                         slot=slot,
                         transmitters=len(transmitters),
                         outcome=outcome,
-                        active_before=len(active_nodes),
+                        active_before=active_before,
                         delivered_node=successful_node.node_id if successful_node else None,
                     )
                 )

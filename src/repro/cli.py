@@ -154,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--protocol", default=OneFailAdaptive.name, choices=available_protocols())
     sim.add_argument("--k", type=int, default=1_000, help="number of contenders")
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--engine", default="auto", choices=["auto", "fair", "window", "slot"])
+    sim.add_argument("--engine", default="auto", choices=["auto", "fair", "window", "slot", "batch"])
     sim.add_argument("--delta", type=float, default=None, help="protocol delta (paper default if omitted)")
     sim.add_argument("--xi-t", dest="xi_t", type=float, default=0.5, help="xi_t for log-fails-adaptive")
     sim.add_argument(

@@ -37,12 +37,57 @@ from __future__ import annotations
 import math
 from typing import ClassVar
 
+import numpy as np
+
 from repro.channel.model import Observation
 from repro.core.constants import OFA_DELTA_DEFAULT, OFA_DELTA_MAX, OFA_DELTA_MIN
-from repro.protocols.base import FairProtocol, register_protocol
+from repro.protocols.base import FairBatchState, FairProtocol, register_protocol
 from repro.util.validation import check_in_range
 
 __all__ = ["OneFailAdaptive"]
+
+
+class _OneFailBatchState(FairBatchState):
+    """Vectorised ``(κ̃, σ)`` state of R lockstep One-fail Adaptive replications.
+
+    Line-for-line mirror of the scalar :meth:`OneFailAdaptive.notify` /
+    :meth:`OneFailAdaptive.transmission_probability` pair, with the per-slot
+    branches turned into array expressions; the protocol's probability is
+    *not* constant between receptions (κ̃ grows after every AT step), so the
+    batch engine runs these replications strictly slot by slot.
+    """
+
+    def __init__(self, delta: float, reps: int) -> None:
+        self.delta = delta
+        self._kappa = np.full(reps, delta + 1.0)
+        self._sigma = np.zeros(reps, dtype=np.int64)
+
+    def probabilities(self, slot: int) -> np.ndarray:
+        if OneFailAdaptive.is_bt_step(slot):
+            # Line 8: transmit with probability 1/(1 + log2(σ + 1)).
+            return 1.0 / (1.0 + np.log2(self._sigma + 1.0))
+        # Line 10: transmit with probability 1/κ̃.
+        return 1.0 / self._kappa
+
+    def observe_receptions(self, slot: int, received: np.ndarray) -> None:
+        bt_step = OneFailAdaptive.is_bt_step(slot)
+        if not bt_step:
+            # Line 11: κ̃ ← κ̃ + 1 at the end of every AT step (before the
+            # reception adjustment, matching the scalar update order).
+            self._kappa += 1.0
+        if received.any():
+            self._sigma += received
+            # Lines 16/18: κ̃ ← max{κ̃ − δ[, − 1]}, floored at δ + 1.
+            decrement = self.delta if bt_step else self.delta + 1.0
+            self._kappa = np.where(
+                received,
+                np.maximum(self._kappa - decrement, self.delta + 1.0),
+                self._kappa,
+            )
+
+    def compact(self, keep: np.ndarray) -> None:
+        self._kappa = self._kappa[keep]
+        self._sigma = self._sigma[keep]
 
 
 @register_protocol
@@ -146,3 +191,6 @@ class OneFailAdaptive(FairProtocol):
             else:
                 # Line 18: κ̃ ← max{κ̃ − δ − 1, δ + 1}.
                 self._kappa_estimate = max(self._kappa_estimate - self.delta - 1.0, floor)
+
+    def make_batch_state(self, reps: int) -> _OneFailBatchState:
+        return _OneFailBatchState(self.delta, reps)

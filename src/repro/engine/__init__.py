@@ -1,23 +1,52 @@
-"""Simulation engines.
+"""Simulation engines and how one gets picked.
 
-Three engines produce makespan samples of the *same* stochastic process — the
-paper's channel model — at very different costs:
+Four engines produce makespan samples of the *same* stochastic process — the
+paper's channel model — at very different costs.  This docstring is the
+engine-selection guide: what each engine requires (its contract), what it
+costs, and when :func:`pick_engine` / the sweep runner choose it.
 
 * :class:`~repro.engine.slot_engine.SlotEngine` — wraps the exact node-level
-  :class:`~repro.channel.radio_network.RadioNetwork`; O(active nodes) per
-  slot.  Works for every protocol and is the reference the other engines are
-  validated against.
+  :class:`~repro.channel.radio_network.RadioNetwork`.  **Contract:** none; it
+  works for every protocol, every channel model and every arrival process,
+  and it is the reference the reduced engines are validated against.
+  **Cost:** O(active nodes) per slot.  **Picked when:** the protocol fits no
+  reduction, a non-default channel is requested, or an ``arrivals`` process
+  is given (the reductions below all assume every station starts at slot 0).
 * :class:`~repro.engine.fair_engine.FairEngine` — for
-  :class:`~repro.protocols.base.FairProtocol`: because every active station
-  transmits with the same probability ``p``, the slot outcome distribution is
-  ``P(success) = m·p·(1−p)^{m−1}``, ``P(silence) = (1−p)^m``, so one uniform
-  draw per slot suffices.  O(1) per slot regardless of k.
+  :class:`~repro.protocols.base.FairProtocol`.  **Contract:** every active
+  station transmits with the same probability ``p`` and updates state only on
+  commonly-observed feedback (`state_depends_on_own_transmission` must be
+  False).  The slot outcome is then ``Binomial(m, p)``-distributed —
+  ``P(success) = m·p·(1−p)^{m−1}``, ``P(silence) = (1−p)^m`` — so one uniform
+  draw per slot suffices.  **Cost:** O(1) per slot regardless of k.
+  **Picked when:** ``engine="auto"`` for a fair protocol on the paper's
+  channel (single runs; it is also the only fair-path engine that collects
+  traces).
 * :class:`~repro.engine.window_engine.WindowEngine` — for
-  :class:`~repro.protocols.base.WindowedProtocol`: a whole contention window
-  is one balls-in-bins experiment, vectorised with numpy.  O(window) work in
-  numpy per window, which in practice makes runs with k = 10⁷ take seconds.
+  :class:`~repro.protocols.base.WindowedProtocol`.  **Contract:** stations
+  commit to one uniform slot per contention window and the window schedule is
+  a pure function of the window index; a whole window is then one
+  balls-in-bins experiment.  **Cost:** O(window) numpy work per window (runs
+  with k = 10⁷ take seconds).  **Picked when:** ``engine="auto"`` for a
+  windowed protocol on the paper's channel.
+* :class:`~repro.engine.batch_engine.BatchFairEngine` — for fair protocols
+  that expose vectorised state via
+  :meth:`~repro.protocols.base.FairProtocol.make_batch_state`.  **Contract:**
+  the fair-engine contract plus a numpy mirror of the protocol's shared
+  state; protocols additionally declaring
+  :attr:`~repro.protocols.base.FairProtocol.probability_constant_between_receptions`
+  get geometric silence-run skipping.  **Cost:** one vectorised slot step for
+  *all R replications of a sweep cell at once* — one ``Generator.random(R)``
+  draw per slot, with finished replications retired so the batch shrinks.
+  **Picked when:** :func:`repro.experiments.runner.run_sweep` groups a cell's
+  seeds into one batch (the default for eligible cells; disable with
+  ``batch=False`` / ``--no-batch``), or explicitly via ``engine="batch"``.
+  Never picked by ``engine="auto"``, which serves single runs.  Its runs are
+  distributionally identical — not bit-identical — to the per-run engines,
+  because the whole batch consumes one interleaved random stream.
 
-:func:`simulate` dispatches to the cheapest applicable engine, and
+:func:`simulate` dispatches a single run to the cheapest applicable engine,
+:func:`simulate_batch` runs a whole cell through the batch engine, and
 :mod:`repro.engine.validation` provides the statistical cross-checks used by
 the test suite and the engine ablation benchmark.
 """
@@ -26,7 +55,8 @@ from repro.engine.result import SimulationResult
 from repro.engine.slot_engine import SlotEngine
 from repro.engine.fair_engine import FairEngine
 from repro.engine.window_engine import WindowEngine
-from repro.engine.dispatch import pick_engine, simulate
+from repro.engine.batch_engine import BatchFairEngine
+from repro.engine.dispatch import pick_engine, simulate, simulate_batch
 from repro.engine.validation import compare_engines, makespan_samples
 
 __all__ = [
@@ -34,7 +64,9 @@ __all__ = [
     "SlotEngine",
     "FairEngine",
     "WindowEngine",
+    "BatchFairEngine",
     "simulate",
+    "simulate_batch",
     "pick_engine",
     "compare_engines",
     "makespan_samples",

@@ -1,0 +1,346 @@
+"""Vectorised batch-replication engine for fair protocols.
+
+:class:`~repro.engine.fair_engine.FairEngine` already reduces one run of a
+fair protocol to one uniform draw per slot, but a sweep cell still pays one
+Python-interpreted loop per replication: R replications of a (protocol, k)
+cell cost R × makespan interpreter iterations, each with a Python call into
+``transmission_probability`` and a scalar RNG draw.  This engine runs **all R
+replications of a cell in lockstep** instead:
+
+* the protocol exposes its shared state as R-sized numpy arrays through
+  :meth:`~repro.protocols.base.FairProtocol.make_batch_state`;
+* every slot makes *one* ``Generator.random(R)`` draw and classifies all R
+  outcomes at once from the closed-form ``Binomial(m, p)`` slot-outcome
+  probabilities (``P(success) = m·p·(1−p)^{m−1}``, ``P(silence) = (1−p)^m``);
+* ``remaining``/makespan updates are masked array operations, and finished
+  replications are retired from the batch, so the live batch shrinks as runs
+  solve and the per-slot cost tracks the number of *unsolved* replications.
+
+Protocols that additionally declare
+:attr:`~repro.protocols.base.FairProtocol.probability_constant_between_receptions`
+(slotted ALOHA) get **geometric silence-run skipping**: between two receptions
+their slot outcomes are i.i.d., so the length of every silent stretch is
+sampled directly from a geometric distribution and the engine only touches the
+non-silent slots.  Replications then advance to different slot indices, which
+is sound precisely because the flag guarantees the probability does not depend
+on the slot.
+
+The lockstep batch consumes a *single* random stream derived from the whole
+seed tuple, so its runs cannot be bit-identical to the per-run engines (the
+i-th replication's draws interleave with its siblings'); the batch engine is
+therefore validated **distributionally** against :class:`FairEngine` — same
+makespan mean and quantiles within sampling tolerance, same solved rate at the
+slot cap — by ``tests/engine/test_batch_engine.py``, in the same spirit as the
+cross-engine checks of :mod:`repro.engine.validation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.channel.trace import ExecutionTrace
+from repro.engine.result import SimulationResult
+from repro.protocols.base import FairBatchState, FairProtocol, Protocol
+from repro.util.validation import check_positive_int
+
+__all__ = ["BatchFairEngine"]
+
+
+@dataclass
+class _BatchAccumulator:
+    """Final per-replication statistics, indexed by the original batch slot."""
+
+    solved: np.ndarray
+    makespan: np.ndarray
+    slots: np.ndarray
+    successes: np.ndarray
+    collisions: np.ndarray
+    silences: np.ndarray
+
+    @classmethod
+    def empty(cls, reps: int) -> "_BatchAccumulator":
+        return cls(
+            solved=np.zeros(reps, dtype=bool),
+            makespan=np.zeros(reps, dtype=np.int64),
+            slots=np.zeros(reps, dtype=np.int64),
+            successes=np.zeros(reps, dtype=np.int64),
+            collisions=np.zeros(reps, dtype=np.int64),
+            silences=np.zeros(reps, dtype=np.int64),
+        )
+
+
+class _LiveBatch:
+    """The still-running replications: counters plus the protocol state."""
+
+    def __init__(self, k: int, reps: int, state: FairBatchState) -> None:
+        self.orig = np.arange(reps)
+        self.remaining = np.full(reps, k, dtype=np.int64)
+        self.successes = np.zeros(reps, dtype=np.int64)
+        self.collisions = np.zeros(reps, dtype=np.int64)
+        self.silences = np.zeros(reps, dtype=np.int64)
+        self.slots = np.zeros(reps, dtype=np.int64)
+        self.state = state
+
+    @property
+    def size(self) -> int:
+        return int(self.orig.size)
+
+    def retire(self, mask: np.ndarray, out: _BatchAccumulator, solved: bool) -> None:
+        """Write final stats for the masked replications and drop them."""
+        idx = self.orig[mask]
+        out.solved[idx] = solved
+        out.makespan[idx] = self.slots[mask] if solved else 0
+        out.slots[idx] = self.slots[mask]
+        out.successes[idx] = self.successes[mask]
+        out.collisions[idx] = self.collisions[mask]
+        out.silences[idx] = self.silences[mask]
+        keep = ~mask
+        self.orig = self.orig[keep]
+        self.remaining = self.remaining[keep]
+        self.successes = self.successes[keep]
+        self.collisions = self.collisions[keep]
+        self.silences = self.silences[keep]
+        self.slots = self.slots[keep]
+        self.state.compact(keep)
+
+
+def _outcome_probabilities(
+    p: np.ndarray, remaining: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-replication ``(P(success), P(silence))`` for transmission prob ``p``.
+
+    Mirrors the scalar piecewise cases of :class:`FairEngine`: ``p <= 0`` makes
+    every slot silent, ``p >= 1`` succeeds only with a single station left.
+    """
+    interior = (p > 0.0) & (p < 1.0)
+    if interior.all():
+        q = 1.0 - p
+        q_pow = q ** (remaining - 1)
+        return remaining * p * q_pow, q_pow * q
+    q = np.where(interior, 1.0 - p, 0.5)  # placeholder base keeps ** finite
+    q_pow = q ** (remaining - 1)
+    probability_success = np.where(interior, remaining * p * q_pow, 0.0)
+    probability_silence = np.where(interior, q_pow * q, 0.0)
+    probability_silence = np.where(p <= 0.0, 1.0, probability_silence)
+    probability_success = np.where(p >= 1.0, (remaining == 1).astype(float), probability_success)
+    return probability_success, probability_silence
+
+
+class BatchFairEngine:
+    """Simulate all replications of a fair-protocol cell in numpy lockstep."""
+
+    name = "batch"
+
+    def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
+        self.channel = channel if channel is not None else ChannelModel()
+        if self.channel.feedback is not FeedbackModel.NO_COLLISION_DETECTION:
+            raise ValueError(
+                "BatchFairEngine models the paper's channel (no collision detection); "
+                "use SlotEngine for other feedback models"
+            )
+        if not self.channel.acknowledgements:
+            raise ValueError("BatchFairEngine requires acknowledgements (the paper's model)")
+        self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
+
+    # ------------------------------------------------------------ eligibility
+    @staticmethod
+    def supports(protocol: Protocol) -> bool:
+        """Whether ``protocol`` can be simulated by the batch engine.
+
+        Requires the fair-engine contract *and* a vectorised batch state; a
+        fair protocol that does not override
+        :meth:`~repro.protocols.base.FairProtocol.make_batch_state` silently
+        takes the per-run path in sweeps.
+        """
+        return (
+            isinstance(protocol, FairProtocol)
+            and not protocol.state_depends_on_own_transmission
+            and protocol.make_batch_state(1) is not None
+        )
+
+    # ----------------------------------------------------------------- public
+    def simulate(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        seed: int = 0,
+        max_slots: int | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> SimulationResult:
+        """Run one instance as a batch of size one (the common engine API).
+
+        Single runs gain nothing from vectorisation — use
+        :meth:`simulate_batch` for whole cells; this method exists so the
+        ``engine="batch"`` selector works through the normal front door.
+        """
+        if trace is not None:
+            raise ValueError(
+                "BatchFairEngine does not collect traces (outcomes are classified "
+                "in bulk, not slot records); use FairEngine for traced runs"
+            )
+        return self.simulate_batch(protocol, k, [seed], max_slots=max_slots)[0]
+
+    def simulate_batch(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        seeds: Sequence[int],
+        max_slots: int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate ``len(seeds)`` independent replications of one cell.
+
+        Returns one :class:`SimulationResult` per seed, in order.  The seeds
+        jointly key the batch's random stream (the i-th result is *not* the
+        run :class:`FairEngine` would produce from ``seeds[i]``; the batch is
+        a different — distributionally identical — sampling of the process).
+        """
+        check_positive_int("k", k)
+        if not isinstance(protocol, FairProtocol):
+            raise TypeError(
+                f"BatchFairEngine requires a FairProtocol, got {type(protocol).__name__}"
+            )
+        if protocol.state_depends_on_own_transmission:
+            raise ValueError(
+                f"{type(protocol).__name__} declares per-station state that depends on its own "
+                "transmissions; the shared-state reduction of the batch engine does not apply"
+            )
+        seed_list = [int(seed) for seed in seeds]
+        if not seed_list:
+            raise ValueError("simulate_batch needs at least one seed")
+        state = protocol.spawn().make_batch_state(len(seed_list))
+        if state is None:
+            raise ValueError(
+                f"{type(protocol).__name__} provides no vectorised batch state "
+                "(make_batch_state returned None); use FairEngine instead"
+            )
+        cap = max_slots if max_slots is not None else self.max_slots_factor * k
+        rng = np.random.default_rng(np.random.SeedSequence(seed_list))
+
+        live = _LiveBatch(k, len(seed_list), state)
+        out = _BatchAccumulator.empty(len(seed_list))
+        if protocol.probability_constant_between_receptions:
+            self._run_skipping(live, out, cap, rng)
+        else:
+            self._run_lockstep(live, out, cap, rng)
+
+        return [
+            SimulationResult(
+                solved=bool(out.solved[index]),
+                makespan=int(out.makespan[index]) if out.solved[index] else None,
+                k=k,
+                slots_simulated=int(out.slots[index]),
+                successes=int(out.successes[index]),
+                collisions=int(out.collisions[index]),
+                silences=int(out.silences[index]),
+                protocol=protocol.name,
+                engine=self.name,
+                seed=seed_list[index],
+                metadata={"batch_reps": len(seed_list)},
+            )
+            for index in range(len(seed_list))
+        ]
+
+    # -------------------------------------------------------------- internals
+    def _run_lockstep(
+        self,
+        live: _LiveBatch,
+        out: _BatchAccumulator,
+        cap: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Slot-by-slot lockstep: every live replication shares the slot index."""
+        slot = 0
+        while live.size:
+            if slot >= cap:
+                live.slots[:] = cap
+                live.retire(np.ones(live.size, dtype=bool), out, solved=False)
+                break
+            p = live.state.probabilities(slot)
+            probability_success, probability_silence = _outcome_probabilities(p, live.remaining)
+            draw = rng.random(live.size)
+            success = draw < probability_success
+            silence = ~success & (draw < probability_success + probability_silence)
+            collision = ~(success | silence)
+            live.successes += success
+            live.silences += silence
+            live.collisions += collision
+            live.remaining -= success
+            live.state.observe_receptions(slot, success)
+            slot += 1
+            live.slots[:] = slot
+            finished = live.remaining == 0
+            if finished.any():
+                live.retire(finished, out, solved=True)
+
+    def _run_skipping(
+        self,
+        live: _LiveBatch,
+        out: _BatchAccumulator,
+        cap: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Event-by-event loop for slot-independent probabilities.
+
+        Each iteration advances every live replication past one silent stretch
+        (sampled geometrically) to its next non-silent slot and resolves that
+        slot as a success or collision.  Replications may sit at different
+        slot indices; the contract flag guarantees that is unobservable.
+        """
+        while live.size:
+            p = live.state.probabilities(-1)
+            probability_success, probability_silence = _outcome_probabilities(p, live.remaining)
+
+            # Replications that can never progress (p == 0) burn silently to
+            # the cap in one step.
+            stuck = probability_silence >= 1.0
+            if stuck.any():
+                live.silences[stuck] += cap - live.slots[stuck]
+                live.slots[stuck] = cap
+                live.retire(stuck, out, solved=False)
+                if not live.size:
+                    break
+                keep = ~stuck
+                probability_success = probability_success[keep]
+                probability_silence = probability_silence[keep]
+
+            # Length of the silent stretch before the next non-silent slot:
+            # P(gap >= j) = P(silence)^j, sampled by inversion.
+            draw = rng.random(live.size)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gap = np.floor(np.log(draw) / np.log(probability_silence))
+            gap = np.where(probability_silence <= 0.0, 0.0, gap)
+            allowed = (cap - live.slots).astype(float)
+            hits_cap = ~(gap < allowed)  # catches inf/nan from log(0) corners
+            stretch = np.where(hits_cap, allowed, gap).astype(np.int64)
+            live.silences += stretch
+            live.slots += stretch
+            if hits_cap.any():
+                live.retire(hits_cap, out, solved=False)
+                if not live.size:
+                    break
+                keep = ~hits_cap
+                probability_success = probability_success[keep]
+                probability_silence = probability_silence[keep]
+
+            # The non-silent slot itself: success vs collision, conditioned on
+            # the slot not being silent.
+            non_silent = 1.0 - probability_silence
+            decisive = rng.random(live.size)
+            success = decisive * non_silent < probability_success
+            live.successes += success
+            live.collisions += ~success
+            live.remaining -= success
+            live.state.observe_receptions(-1, success)
+            live.slots += 1
+            finished = live.remaining == 0
+            if finished.any():
+                live.retire(finished, out, solved=True)
+                if not live.size:
+                    break
+            capped = live.slots >= cap
+            if capped.any():
+                live.retire(capped, out, solved=False)

@@ -14,21 +14,25 @@ need no special-casing for the paper's open dynamic problem.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.channel.arrivals import ArrivalProcess
 from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
+from repro.engine.batch_engine import BatchFairEngine
 from repro.engine.fair_engine import FairEngine
 from repro.engine.result import SimulationResult
 from repro.engine.slot_engine import SlotEngine
 from repro.engine.window_engine import WindowEngine
 from repro.protocols.base import FairProtocol, Protocol, WindowedProtocol
 
-__all__ = ["pick_engine", "simulate"]
+__all__ = ["pick_engine", "simulate", "simulate_batch"]
 
 _ENGINES = {
     "slot": SlotEngine,
     "fair": FairEngine,
     "window": WindowEngine,
+    "batch": BatchFairEngine,
 }
 
 
@@ -41,15 +45,21 @@ def pick_engine(
     """Instantiate the engine to use for ``protocol``.
 
     ``engine`` may be ``"auto"`` (default) or one of ``"slot"``, ``"fair"``,
-    ``"window"``.  ``"auto"`` selects the cheapest engine that is exact for
-    the protocol's class: the fair engine for fair protocols, the window
-    engine for windowed protocols, and the node-level engine otherwise (or
-    whenever a non-default channel model is requested, since the specialised
-    engines only implement the paper's channel).
+    ``"window"``, ``"batch"``.  ``"auto"`` selects the cheapest engine that is
+    exact for the protocol's class: the fair engine for fair protocols, the
+    window engine for windowed protocols, and the node-level engine otherwise
+    (or whenever a non-default channel model is requested, since the
+    specialised engines only implement the paper's channel).
+
+    ``"auto"`` never selects the batch engine: for a *single* run the batch
+    reduction has nothing to vectorise, and only the per-run engines collect
+    traces.  Sweeps are where batching pays off —
+    :func:`repro.experiments.runner.run_sweep` groups a cell's replications
+    into one :func:`simulate_batch` call whenever the protocol is eligible.
 
     When an explicit ``arrivals`` process is given the node-level engine is
-    mandatory — the fair and window reductions assume every station starts at
-    slot 0 — so ``engine`` must be ``"auto"`` or ``"slot"``.
+    mandatory — the fair, window and batch reductions assume every station
+    starts at slot 0 — so ``engine`` must be ``"auto"`` or ``"slot"``.
     """
     if arrivals is not None and engine not in ("auto", "slot"):
         raise ValueError(
@@ -114,3 +124,22 @@ def simulate(
             protocol, k, seed=seed, max_slots=max_slots, trace=trace, arrivals=arrivals
         )
     return chosen.simulate(protocol, k, seed=seed, max_slots=max_slots, trace=trace)
+
+
+def simulate_batch(
+    protocol: Protocol,
+    k: int,
+    seeds: Sequence[int],
+    channel: ChannelModel | None = None,
+    max_slots: int | None = None,
+) -> list[SimulationResult]:
+    """Simulate many replications of one (protocol, k) cell in a single batch.
+
+    Front door to :class:`~repro.engine.batch_engine.BatchFairEngine` for
+    callers holding a whole cell's seeds (the sweep runner, benchmarks).  The
+    protocol must be batch-eligible (see :meth:`BatchFairEngine.supports`);
+    callers that need a silent fallback check eligibility first and route
+    ineligible cells through per-run :func:`simulate` calls.
+    """
+    engine = BatchFairEngine(channel=channel) if channel is not None else BatchFairEngine()
+    return engine.simulate_batch(protocol, k, seeds, max_slots=max_slots)

@@ -181,6 +181,13 @@ class ExperimentConfig:
     :func:`~repro.experiments.runner.run_sweep`: ``1`` keeps the historical
     serial behaviour, ``0`` means one worker per CPU.  Seeds are derived
     before dispatch, so the worker count never changes the results.
+
+    ``batch`` (default True) lets the runner group each eligible cell's
+    replications into one vectorised
+    :class:`~repro.engine.batch_engine.BatchFairEngine` call.  Batched sweeps
+    are deterministic in the seed but sample a *different* (distributionally
+    identical) set of runs than ``batch=False``, which replays the historical
+    per-run streams.
     """
 
     k_values: Sequence[int] = field(default_factory=paper_k_values)
@@ -188,6 +195,7 @@ class ExperimentConfig:
     seed: int = 2011  # year of the paper; any fixed value works
     max_slots_factor: int = 10_000
     workers: int = 1
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if not self.k_values:
@@ -208,4 +216,5 @@ class ExperimentConfig:
             "seed": self.seed,
             "max_slots_factor": self.max_slots_factor,
             "workers": self.workers,
+            "batch": self.batch,
         }

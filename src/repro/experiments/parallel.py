@@ -17,6 +17,13 @@ Work units carry materialised protocol and arrival-process *instances* (not
 the factories of :class:`~repro.experiments.config.ProtocolSpec`, which are
 often lambdas and therefore unpicklable); all of the repository's protocol
 and arrival classes are plain attribute holders that pickle cleanly.
+
+A unit may also be a *batch*: one vectorised
+:func:`~repro.engine.dispatch.simulate_batch` call covering many replications
+of the same (protocol, k) cell (``seeds`` set instead of ``seed``).  Batch
+units compose with the process pool exactly like single-run units — cells fan
+out across workers while each cell's replications run vectorised within one —
+and their outcome carries one result per seed.
 """
 
 from __future__ import annotations
@@ -25,10 +32,10 @@ import os
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.channel.arrivals import ArrivalProcess
-from repro.engine.dispatch import simulate
+from repro.engine.dispatch import simulate, simulate_batch
 from repro.engine.result import SimulationResult
 from repro.protocols.base import Protocol
 
@@ -61,25 +68,40 @@ class SimulationUnit:
     tag:
         Opaque caller marker (e.g. a ``(spec_key, k)`` cell id); carried
         through to :class:`UnitOutcome` untouched.
+    seeds:
+        When set, the unit is a *batch*: all listed replications run in one
+        :func:`~repro.engine.dispatch.simulate_batch` call (``seed`` and
+        ``arrivals`` are ignored; the protocol must be batch-eligible).
     """
 
     protocol: Protocol
     k: int
-    seed: int
+    seed: int = 0
     engine: str = "auto"
     max_slots: int | None = None
     arrivals: ArrivalProcess | None = None
     tag: object = None
+    seeds: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
 class UnitOutcome:
-    """Result of one executed unit plus its execution cost."""
+    """Result(s) of one executed unit plus its execution cost.
+
+    Single-run units populate both ``result`` and the one-element
+    ``results``; batch units populate ``results`` (one entry per seed, in
+    seed order) and leave ``result`` ``None``.
+    """
 
     index: int
-    result: SimulationResult
+    result: SimulationResult | None
     elapsed_seconds: float
     tag: object = None
+    results: tuple[SimulationResult, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.results and self.result is not None:
+            object.__setattr__(self, "results", (self.result,))
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -94,6 +116,20 @@ def resolve_workers(workers: int | None) -> int:
 def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
     """Run one unit (module-level so process pools can pickle it)."""
     started = time.perf_counter()
+    if unit.seeds is not None:
+        results = simulate_batch(
+            unit.protocol,
+            unit.k,
+            unit.seeds,
+            max_slots=unit.max_slots,
+        )
+        return UnitOutcome(
+            index=index,
+            result=None,
+            elapsed_seconds=time.perf_counter() - started,
+            tag=unit.tag,
+            results=tuple(results),
+        )
     result = simulate(
         unit.protocol,
         unit.k,
@@ -185,8 +221,9 @@ class ParallelExecutor:
                     outcomes[outcome.index] = outcome
                     if progress is not None:
                         progress(outcome)
-        # Callers slice the output positionally (cell = units[i*runs:(i+1)*runs]),
-        # so a lost unit must be an error, never a silently shorter list.
+        # Callers assemble cells from the outcome list (relying on submission
+        # order), so a lost unit must be an error, never a silently shorter
+        # list.
         missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
         if missing:
             raise RuntimeError(f"process pool returned no outcome for units {missing}")

@@ -11,6 +11,18 @@ flattens the whole sweep into ``(protocol, k, seed)`` work units and hands
 them to a :class:`~repro.experiments.parallel.ParallelExecutor`.  Seeds are
 derived *before* dispatch, exactly as the serial path always derived them, so
 ``workers=N`` produces bit-identical cells to ``workers=1``.
+
+Cells whose protocol is batch-eligible (see
+:meth:`~repro.engine.batch_engine.BatchFairEngine.supports`) are grouped into
+**one vectorised work unit per cell** — all of the cell's replications run in
+lockstep inside a single :class:`BatchFairEngine` call — unless batching is
+disabled (``batch=False`` / ``config.batch``), an explicit per-run engine is
+requested, or an arrival process is in play.  Batching composes with the
+executor: cells fan out across worker processes while replications vectorise
+within each.  Batched cells are deterministic and independent of the worker
+count, but their makespans are a *different* (distributionally identical)
+sample than the per-run path's, since the whole batch consumes one
+interleaved random stream.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.channel.arrivals import ArrivalProcess
+from repro.engine.batch_engine import BatchFairEngine
 from repro.engine.result import SimulationResult
 from repro.experiments.config import ExperimentConfig, ProtocolSpec
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
@@ -45,7 +58,7 @@ class SweepCell:
     label: str
     k: int
     results: tuple[SimulationResult, ...]
-    elapsed_seconds: float
+    elapsed_seconds: float  # batched cells count their single vectorised call once
 
     @property
     def solved_results(self) -> tuple[SimulationResult, ...]:
@@ -115,6 +128,7 @@ def run_sweep(
     progress: ProgressCallback | None = None,
     workers: int | None = None,
     arrivals_factory: Callable[[int], ArrivalProcess] | None = None,
+    batch: bool | None = None,
 ) -> SweepResult:
     """Run every (protocol, k, repetition) combination of the sweep.
 
@@ -147,11 +161,18 @@ def run_sweep(
         Optional mapping from ``k`` to an
         :class:`~repro.channel.arrivals.ArrivalProcess`; when given, every
         run goes through the node-level engine under that arrival process
-        (the dynamic workloads of the paper's Section 6).
+        (the dynamic workloads of the paper's Section 6) and batching is
+        disabled — the batch reduction assumes batched slot-0 arrivals.
+    batch:
+        Whether eligible cells run as one vectorised batch; defaults to
+        ``config.batch``.  Ineligible cells (non-fair protocols, protocols
+        without a vectorised state, custom arrivals, explicit per-run
+        ``engine`` selectors) silently take the per-run path either way.
     """
     if not specs:
         raise ValueError("run_sweep needs at least one protocol specification")
     effective_workers = config.workers if workers is None else workers
+    effective_batch = config.batch if batch is None else batch
     result = SweepResult(config=config, specs=list(specs))
 
     units: list[SimulationUnit] = []
@@ -162,10 +183,29 @@ def run_sweep(
             seeds = derive_seeds(cell_seed_root, config.runs)
             cell_order.append((spec, k))
             arrivals = arrivals_factory(k) if arrivals_factory is not None else None
+            protocol = spec.build(k)
+            batch_cell = (
+                (effective_batch or engine == "batch")
+                and engine in ("auto", "batch")
+                and arrivals is None
+                and BatchFairEngine.supports(protocol)
+            )
+            if batch_cell:
+                units.append(
+                    SimulationUnit(
+                        protocol=protocol,
+                        k=k,
+                        engine=engine,
+                        max_slots=config.max_slots_factor * k,
+                        tag=(spec.key, k),
+                        seeds=tuple(seeds),
+                    )
+                )
+                continue
             for seed in seeds:
                 units.append(
                     SimulationUnit(
-                        protocol=spec.build(k),
+                        protocol=protocol,
                         k=k,
                         seed=seed,
                         engine=engine,
@@ -182,21 +222,29 @@ def run_sweep(
         if progress is None:
             return
         spec_key, k = outcome.tag
-        done = completed_per_cell.get((spec_key, k), 0) + 1
-        completed_per_cell[(spec_key, k)] = done
-        progress(spec_by_key[spec_key], k, done, config.runs)
+        for _ in outcome.results:
+            done = completed_per_cell.get((spec_key, k), 0) + 1
+            completed_per_cell[(spec_key, k)] = done
+            progress(spec_by_key[spec_key], k, done, config.runs)
 
     outcomes = ParallelExecutor(workers=effective_workers).run(
         units, progress=unit_progress if progress is not None else None
     )
 
-    for cell_index, (spec, k) in enumerate(cell_order):
-        cell_outcomes = outcomes[cell_index * config.runs : (cell_index + 1) * config.runs]
+    cell_results: dict[tuple[str, int], list[SimulationResult]] = {
+        (spec.key, k): [] for spec, k in cell_order
+    }
+    cell_elapsed: dict[tuple[str, int], float] = {key: 0.0 for key in cell_results}
+    for outcome in outcomes:
+        cell_results[outcome.tag].extend(outcome.results)
+        cell_elapsed[outcome.tag] += outcome.elapsed_seconds
+
+    for spec, k in cell_order:
         result.cells[(spec.key, k)] = SweepCell(
             spec_key=spec.key,
             label=spec.label,
             k=k,
-            results=tuple(outcome.result for outcome in cell_outcomes),
-            elapsed_seconds=sum(outcome.elapsed_seconds for outcome in cell_outcomes),
+            results=tuple(cell_results[(spec.key, k)]),
+            elapsed_seconds=cell_elapsed[(spec.key, k)],
         )
     return result

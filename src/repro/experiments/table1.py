@@ -152,6 +152,13 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the sweep (0 = one per CPU); results are identical for any value",
     )
     parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="vectorise each eligible cell's runs into one batch-engine call "
+        "(--no-batch replays the historical per-run streams)",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -165,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
         runs=args.runs,
         seed=args.seed,
         workers=args.workers,
+        batch=args.batch,
     )
     table = reproduce_table1(config=config, progress=not args.quiet)
 

@@ -17,11 +17,31 @@ from __future__ import annotations
 
 from typing import ClassVar
 
+import numpy as np
+
 from repro.channel.model import Observation
-from repro.protocols.base import FairProtocol, register_protocol
+from repro.protocols.base import FairBatchState, FairProtocol, register_protocol
 from repro.util.validation import check_positive_int
 
 __all__ = ["SlottedAloha"]
+
+
+class _SlottedAlohaBatchState(FairBatchState):
+    """Vectorised ``(remaining estimate)`` state of R ALOHA replications."""
+
+    def __init__(self, k: int, track_deliveries: bool, reps: int) -> None:
+        self.track_deliveries = track_deliveries
+        self._remaining = np.full(reps, k, dtype=np.int64)
+
+    def probabilities(self, slot: int) -> np.ndarray:
+        return 1.0 / np.maximum(self._remaining, 1)
+
+    def observe_receptions(self, slot: int, received: np.ndarray) -> None:
+        if self.track_deliveries:
+            self._remaining = np.maximum(self._remaining - received, 1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        self._remaining = self._remaining[keep]
 
 
 @register_protocol
@@ -44,6 +64,9 @@ class SlottedAloha(FairProtocol):
     name: ClassVar[str] = "slotted-aloha"
     label: ClassVar[str] = "Slotted ALOHA (known k)"
     requires_knowledge: ClassVar[frozenset[str]] = frozenset({"k"})
+    #: ``p = 1/(messages left)`` depends on nothing but the reception count,
+    #: so the batch engine may skip silent stretches geometrically.
+    probability_constant_between_receptions: ClassVar[bool] = True
 
     def __init__(self, k: int, track_deliveries: bool = True) -> None:
         self.k = check_positive_int("k", k)
@@ -64,3 +87,6 @@ class SlottedAloha(FairProtocol):
     def notify(self, observation: Observation) -> None:
         if self.track_deliveries and observation.received:
             self._remaining = max(self._remaining - 1, 1)
+
+    def make_batch_state(self, reps: int) -> _SlottedAlohaBatchState:
+        return _SlottedAlohaBatchState(self.k, self.track_deliveries, reps)

@@ -41,6 +41,7 @@ from repro.channel.model import Observation
 __all__ = [
     "Protocol",
     "FairProtocol",
+    "FairBatchState",
     "WindowedProtocol",
     "ProtocolFactory",
     "register_protocol",
@@ -150,6 +151,46 @@ class Protocol(abc.ABC):
         return f"{type(self).__name__}({params})"
 
 
+class FairBatchState(abc.ABC):
+    """Vectorised shared state of many lockstep replications of a fair protocol.
+
+    The batch engine (:class:`~repro.engine.batch_engine.BatchFairEngine`)
+    simulates all R replications of a (protocol, k) cell at once; for that it
+    needs the protocol's shared state as R-sized numpy arrays instead of one
+    Python object per replication.  Implementations must mirror the scalar
+    protocol *exactly*: the batch engine is validated distributionally against
+    the per-run fair engine, and any semantic drift here shows up there.
+
+    All methods operate on the *live* replications only — the engine compacts
+    the batch as replications finish, and calls :meth:`compact` so the state
+    arrays shrink in step.
+    """
+
+    @abc.abstractmethod
+    def probabilities(self, slot: int) -> np.ndarray:
+        """Per-replication transmission probability in (common) ``slot``.
+
+        Protocols declaring
+        :attr:`FairProtocol.probability_constant_between_receptions` must
+        ignore ``slot`` (the silence-skipping path advances replications to
+        different slot indices, so no common slot exists; the engine then
+        passes ``-1``).
+        """
+
+    @abc.abstractmethod
+    def observe_receptions(self, slot: int, received: np.ndarray) -> None:
+        """Apply the end-of-slot feedback: ``received`` is a boolean mask.
+
+        Mirrors :meth:`Protocol.notify` with ``transmitted=False`` and
+        ``delivered=False`` — exactly the observation the per-run fair engine
+        feeds its shared state, slot by slot.
+        """
+
+    @abc.abstractmethod
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop the replications where boolean mask ``keep`` is False."""
+
+
 class FairProtocol(Protocol):
     """Protocol in which every active station uses the same probability per slot.
 
@@ -168,9 +209,32 @@ class FairProtocol(Protocol):
     #: the fair engine refuses them.
     state_depends_on_own_transmission: ClassVar[bool] = False
 
+    #: Batch-engine contract flag: True when the transmission probability is
+    #: independent of the slot index and the shared state changes *only* upon
+    #: receiving a message.  Between two receptions every slot is then i.i.d.,
+    #: so the batch engine samples the length of each silent stretch from a
+    #: geometric distribution instead of looping slot by slot.  Slotted ALOHA
+    #: qualifies (``p = 1/remaining`` changes only on deliveries); the paper's
+    #: adaptive protocols do not — One-fail Adaptive revises its density
+    #: estimator after every single AT step (the very feature the paper names
+    #: it after) and alternates AT/BT rules by slot parity, and Log-fails
+    #: Adaptive corrects its estimator after every logarithmic failure streak.
+    probability_constant_between_receptions: ClassVar[bool] = False
+
     @abc.abstractmethod
     def transmission_probability(self, slot: int) -> float:
         """Probability with which each active station transmits in ``slot``."""
+
+    def make_batch_state(self, reps: int) -> FairBatchState | None:
+        """Return vectorised state for ``reps`` lockstep replications.
+
+        ``None`` (the default) opts the protocol out of the batch engine;
+        sweeps then fall back to one per-run simulation per seed.  Overriding
+        implementations must return a state whose evolution matches
+        :meth:`transmission_probability` / :meth:`notify` exactly, starting
+        from the *initial* (post-:meth:`reset`) state of this instance.
+        """
+        return None
 
     def will_transmit(self, slot: int, rng: np.random.Generator) -> bool:
         probability = self.transmission_probability(slot)

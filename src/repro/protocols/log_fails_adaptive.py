@@ -66,12 +66,71 @@ from __future__ import annotations
 import math
 from typing import ClassVar
 
+import numpy as np
+
 from repro.channel.model import Observation
 from repro.core.constants import LFA_XI_BETA_DEFAULT, LFA_XI_DELTA_DEFAULT
-from repro.protocols.base import FairProtocol, register_protocol
+from repro.protocols.base import FairBatchState, FairProtocol, register_protocol
 from repro.util.validation import check_in_range
 
 __all__ = ["LogFailsAdaptive"]
+
+
+class _LogFailsBatchState(FairBatchState):
+    """Vectorised Log-fails Adaptive state for R lockstep replications.
+
+    Mirrors the scalar :meth:`LogFailsAdaptive.notify`: receptions reset the
+    failure streak and re-anchor the exponential search; a full failure streak
+    takes one alternating ``×2, ÷2, ×4, …`` step of that search.  The BT/AT
+    schedule is a pure function of the (common) slot, so it stays scalar.
+    """
+
+    def __init__(self, protocol: "LogFailsAdaptive", reps: int) -> None:
+        self._protocol = protocol
+        self._bt_probability = protocol.bt_probability
+        self._failure_threshold = protocol.failure_threshold
+        self._max_exponent = protocol.max_search_exponent
+        self._xi_delta = protocol.xi_delta
+        self._kappa = np.ones(reps)
+        self._failures = np.zeros(reps, dtype=np.int64)
+        self._anchor = np.ones(reps)
+        self._search = np.zeros(reps, dtype=np.int64)
+
+    def probabilities(self, slot: int) -> np.ndarray:
+        if self._protocol.is_bt_step(slot):
+            return np.full(self._kappa.shape, self._bt_probability)
+        return np.minimum(1.0, 1.0 / self._kappa)
+
+    def observe_receptions(self, slot: int, received: np.ndarray) -> None:
+        if received.any():
+            corrected = np.maximum(self._kappa - 1.0 - self._xi_delta, 1.0)
+            self._kappa = np.where(received, corrected, self._kappa)
+            self._anchor = np.where(received, corrected, self._anchor)
+            self._failures[received] = 0
+            self._search[received] = 0
+        missed = ~received
+        self._failures += missed
+        triggered = self._failures >= self._failure_threshold
+        if triggered.any():
+            self._failures[triggered] = 0
+            self._search += triggered
+            exponent = (self._search + 1) // 2
+            restart = triggered & (exponent > self._max_exponent)
+            self._search[restart] = 1
+            exponent = np.where(restart, 1, exponent)
+            magnitude = np.exp2(exponent)
+            candidate = np.where(
+                self._search % 2 == 1,
+                self._anchor * magnitude,
+                self._anchor / magnitude,
+            )
+            self._kappa = np.where(triggered, np.maximum(candidate, 1.0), self._kappa)
+
+    def compact(self, keep: np.ndarray) -> None:
+        self._kappa = self._kappa[keep]
+        self._failures = self._failures[keep]
+        self._anchor = self._anchor[keep]
+        self._search = self._search[keep]
 
 
 @register_protocol
@@ -232,3 +291,6 @@ class LogFailsAdaptive(FairProtocol):
             else:
                 candidate = self._search_anchor / magnitude
             self._kappa_estimate = max(candidate, 1.0)
+
+    def make_batch_state(self, reps: int) -> _LogFailsBatchState:
+        return _LogFailsBatchState(self, reps)
