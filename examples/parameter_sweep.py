@@ -10,33 +10,85 @@ next to the constant the analysis predicts, showing
 * that One-fail Adaptive's measured ratio closely follows ``2(δ + 1)``, i.e.
   its analysis is tight (Section 5 makes this observation for δ = 2.72).
 
+It is also a showcase of the declarative front door: the δ-grid is just a
+list of :class:`repro.Scenario` values — one spec string per δ — executed as
+one :meth:`repro.Session.run_all` fan-out.  Pass a store directory as the
+third argument to make the grid resumable (a second invocation reports every
+cell as cached).
+
 Run with::
 
-    python examples/parameter_sweep.py [k] [runs]
+    python examples/parameter_sweep.py [k] [runs] [store_dir]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments.ablations import run_ebb_delta_ablation, run_ofa_delta_ablation
+from repro import Scenario, Session, paper_analysis
+from repro.core.constants import EBB_DELTA_MAX, OFA_DELTA_MAX, OFA_DELTA_MIN
+
+
+def sweep(
+    session: Session,
+    protocol: str,
+    deltas: list[float],
+    k: int,
+    runs: int,
+    seed: int,
+    analysis_constant,
+) -> float:
+    """Run one protocol's δ grid through the Session and print a table."""
+    scenarios = [
+        Scenario(
+            protocol=f"{protocol}(delta={delta},enforce_theorem_range=false)",
+            k=k,
+            replications=runs,
+            seed=seed + index,
+        )
+        for index, delta in enumerate(deltas)
+    ]
+    result_sets = session.run_all(scenarios)
+    print(f"{'delta':>8}  {'mean steps/k':>12}  {'analysis':>9}  {'new/cached':>10}")
+    best_delta, best_ratio = deltas[0], float("inf")
+    for delta, result_set in zip(deltas, result_sets):
+        ratio = result_set.mean_ratio
+        if ratio < best_ratio:
+            best_delta, best_ratio = delta, ratio
+        print(
+            f"{delta:>8.3f}  {ratio:>12.2f}  {analysis_constant(delta):>9.2f}"
+            f"  {result_set.new_runs:>4}/{result_set.cached_runs:<5}"
+        )
+    return best_delta
 
 
 def main() -> int:
     k = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
     runs = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    store_dir = sys.argv[3] if len(sys.argv) > 3 else None
+    session = Session(store_dir=store_dir)
 
     print(f"delta ablation at k = {k}, {runs} runs per point")
+    if store_dir:
+        print(f"(result store: {store_dir} — re-run to see cache hits)")
     print()
-    ofa = run_ofa_delta_ablation(k_values=(k,), runs=runs)
+
+    ofa_deltas = [OFA_DELTA_MIN + 0.002, 2.72, 2.8, 2.9, OFA_DELTA_MAX]
     print("One-fail Adaptive (admissible range e < delta <= 2.9906):")
-    print(ofa.render())
-    print(f"best delta at k={k}: {ofa.best_delta(k):.3f}")
+    best = sweep(
+        session, "one-fail-adaptive", ofa_deltas, k, runs, seed=7,
+        analysis_constant=paper_analysis.ofa_leading_constant,
+    )
+    print(f"best delta at k={k}: {best:.3f}")
     print()
-    ebb = run_ebb_delta_ablation(k_values=(k,), runs=runs)
+
+    ebb_deltas = [0.05, 0.15, 0.25, 0.366, EBB_DELTA_MAX - 0.002]
     print("Exp Back-on/Back-off (admissible range 0 < delta < 1/e):")
-    print(ebb.render())
-    print(f"best delta at k={k}: {ebb.best_delta(k):.3f}")
+    best = sweep(
+        session, "exp-backon-backoff", ebb_deltas, k, runs, seed=101,
+        analysis_constant=paper_analysis.ebb_leading_constant,
+    )
+    print(f"best delta at k={k}: {best:.3f}")
     return 0
 
 

@@ -1,10 +1,12 @@
 """Quickstart: solve static k-selection with the paper's two protocols.
 
-This example shows the minimal use of the library's public API:
+This example shows the minimal use of the library's declarative front door:
 
-1. build a protocol (no knowledge of k is given to it — that is the point of
-   the paper's title);
-2. call :func:`repro.simulate` for a network of k stations;
+1. describe the run as a :class:`repro.Scenario` — one flat spec string
+   naming the protocol, the network size and the seed (no knowledge of k is
+   given to the protocol itself — that is the point of the paper's title);
+2. execute it with :class:`repro.Session` (``Session(store_dir=...)`` would
+   additionally persist the replications and serve them on re-run);
 3. read the makespan and compare it with what the paper's analysis predicts.
 
 Run with::
@@ -16,38 +18,44 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExpBackonBackoff, OneFailAdaptive, simulate
-from repro import paper_analysis
+from repro import Scenario, Session, paper_analysis
 
 
 def main() -> int:
     k = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
     seed = 2011
+    # batch=False: a single replication gains nothing from the vectorised
+    # batch engine, and the per-run engines match the paper's traces exactly.
+    session = Session(batch=False)
 
     print(f"Static k-selection on a single-hop radio network, k = {k} contenders")
     print("(channel without collision detection; batched arrivals; no knowledge of k)")
     print()
 
     # --- One-fail Adaptive (Algorithm 1) ------------------------------------
-    ofa = OneFailAdaptive()  # delta = 2.72, the paper's choice
-    result = simulate(ofa, k=k, seed=seed)
-    bound = paper_analysis.ofa_makespan_bound(k, delta=ofa.delta)
+    scenario = Scenario.parse(f"one-fail-adaptive k={k} seed={seed} seed_policy=sequential")
+    result = session.run(scenario).results[0]
+    delta = scenario.build_protocol().delta  # 2.72, the paper's choice
+    bound = paper_analysis.ofa_makespan_bound(k, delta=delta)
     print("One-fail Adaptive")
+    print(f"  scenario          : {scenario}")
     print(f"  makespan          : {result.makespan} slots")
     print(f"  steps per node    : {result.steps_per_node:.2f}")
     print(f"  Theorem 1 bound   : 2(delta+1)k + O(log^2 k) ~= {bound:.0f} slots (w.h.p.)")
-    print(f"  analysis constant : {paper_analysis.ofa_leading_constant(ofa.delta):.2f} steps/node")
+    print(f"  analysis constant : {paper_analysis.ofa_leading_constant(delta):.2f} steps/node")
     print()
 
     # --- Exp Back-on/Back-off (Algorithm 2) ---------------------------------
-    ebb = ExpBackonBackoff()  # delta = 0.366, the paper's choice
-    result = simulate(ebb, k=k, seed=seed)
-    bound = paper_analysis.ebb_makespan_bound(k, delta=ebb.delta)
+    scenario = Scenario.parse(f"exp-backon-backoff k={k} seed={seed} seed_policy=sequential")
+    result = session.run(scenario).results[0]
+    delta = scenario.build_protocol().delta  # 0.366, the paper's choice
+    bound = paper_analysis.ebb_makespan_bound(k, delta=delta)
     print("Exp Back-on/Back-off")
+    print(f"  scenario          : {scenario}")
     print(f"  makespan          : {result.makespan} slots")
     print(f"  steps per node    : {result.steps_per_node:.2f}")
     print(f"  Theorem 2 bound   : 4(1 + 1/delta)k = {bound:.0f} slots (w.h.p.)")
-    print(f"  analysis constant : {paper_analysis.ebb_leading_constant(ebb.delta):.2f} steps/node")
+    print(f"  analysis constant : {paper_analysis.ebb_leading_constant(delta):.2f} steps/node")
     print()
 
     print(

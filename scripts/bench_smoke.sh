@@ -2,10 +2,31 @@
 # Fast benchmark smoke target: exercises each benchmark harness path that is
 # cheap enough for CI (the parallel-execution fidelity checks and the
 # batch-engine distributional/eligibility checks of bench_batch.py) without
-# running the full sweeps.  The full batch-speedup trajectory (writes
-# benchmark_results/BENCH_batch.json) runs with:
+# running the full sweeps, then a Session-store smoke run proving that a
+# repeated scenario execution is served entirely from the result store.
+# The full batch-speedup trajectory (writes benchmark_results/BENCH_batch.json)
+# runs with:
 #   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
 # Usage:  sh scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"
+
+# --- Session-store smoke -----------------------------------------------------
+# First invocation populates the store; the second must report 0 new
+# simulations (every replication served from the JSONL store).
+STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STORE_DIR"' EXIT
+SCENARIO="one-fail-adaptive(delta=2.72) k=256 reps=5 seed=2011"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run "$SCENARIO" \
+    --store "$STORE_DIR" --json > /dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run "$SCENARIO" \
+    --store "$STORE_DIR" --json \
+  | python -c '
+import json, sys
+payload = json.load(sys.stdin)
+assert payload["new_runs"] == 0, f"expected 0 new runs on re-run, got {payload}"
+assert payload["cached_runs"] == 5, f"expected 5 cached runs, got {payload}"
+print("session-store smoke ok: re-run served %d cached runs, %d new simulations"
+      % (payload["cached_runs"], payload["new_runs"]))
+'

@@ -38,6 +38,10 @@ from repro.channel import (
     PoissonArrival,
     RadioNetwork,
     SlotOutcome,
+    available_arrivals,
+    available_channels,
+    build_arrivals,
+    build_channel,
 )
 from repro.core import ExpBackonBackoff, OneFailAdaptive
 from repro.core import analysis as paper_analysis
@@ -47,6 +51,7 @@ from repro.engine import (
     SimulationResult,
     SlotEngine,
     WindowEngine,
+    available_engines,
     compare_engines,
     simulate,
     simulate_batch,
@@ -67,8 +72,10 @@ from repro.protocols import (
     PolynomialBackoff,
     SlottedAloha,
     available_protocols,
+    build_protocol,
     get_protocol_class,
 )
+from repro.scenarios import ResultSet, ResultStore, Scenario, Session
 
 __version__ = "1.0.0"
 
@@ -87,6 +94,7 @@ __all__ = [
     "BinarySplitting",
     "available_protocols",
     "get_protocol_class",
+    "build_protocol",
     # channel substrate
     "ChannelModel",
     "FeedbackModel",
@@ -96,6 +104,10 @@ __all__ = [
     "PoissonArrival",
     "BurstyArrival",
     "ExecutionTrace",
+    "available_arrivals",
+    "available_channels",
+    "build_arrivals",
+    "build_channel",
     # engines
     "simulate",
     "simulate_batch",
@@ -104,7 +116,13 @@ __all__ = [
     "WindowEngine",
     "SlotEngine",
     "BatchFairEngine",
+    "available_engines",
     "compare_engines",
+    # scenarios (declarative front door)
+    "Scenario",
+    "Session",
+    "ResultSet",
+    "ResultStore",
     # analysis & experiments
     "paper_analysis",
     "ExperimentConfig",

@@ -27,6 +27,8 @@ __all__ = [
     "Observation",
     "ChannelModel",
     "resolve_slot",
+    "available_channels",
+    "build_channel",
 ]
 
 
@@ -154,3 +156,43 @@ class ChannelModel:
             delivered=delivered,
             detected=detected,
         )
+
+
+#: Spec-string registry of named channel configurations, mirroring the
+#: protocol and arrival registries.  "default" (alias "no-cd") is the paper's
+#: channel; "cd" grants every station ternary collision-detection feedback.
+_CHANNEL_REGISTRY: dict[str, FeedbackModel] = {
+    "default": FeedbackModel.NO_COLLISION_DETECTION,
+    "no-cd": FeedbackModel.NO_COLLISION_DETECTION,
+    "cd": FeedbackModel.COLLISION_DETECTION,
+}
+
+
+def available_channels() -> list[str]:
+    """Return the sorted spec names of the registered channel configurations."""
+    return sorted(_CHANNEL_REGISTRY)
+
+
+def build_channel(spec: str) -> ChannelModel:
+    """Build a :class:`ChannelModel` from a spec string.
+
+    ``"default"``/``"no-cd"`` is the paper's channel (no collision detection,
+    implicit acknowledgements); ``"cd"`` enables ternary feedback.  Either
+    name accepts an ``acknowledgements`` parameter, e.g.
+    ``"cd(acknowledgements=false)"`` (note that the simulation engines reject
+    ack-less channels up front — no protocol can terminate on them).
+    """
+    from repro.scenarios.spec import parse_spec
+
+    name, params = parse_spec(spec)
+    try:
+        feedback = _CHANNEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_channels())
+        raise KeyError(f"unknown channel {name!r}; registered: {known}") from None
+    acknowledgements = params.pop("acknowledgements", True)
+    if params:
+        raise ValueError(f"unknown channel parameters {sorted(params)} in spec {spec!r}")
+    if not isinstance(acknowledgements, bool):
+        raise ValueError(f"acknowledgements must be a boolean, got {acknowledgements!r}")
+    return ChannelModel(feedback=feedback, acknowledgements=acknowledgements)

@@ -3,8 +3,14 @@
 Subcommands:
 
 * ``simulate``  — run one protocol on one network size and print the result;
-  ``--arrivals poisson|bursty`` runs the dynamic variant through the same
-  front door (``--rate``, ``--bursts``, ``--gap`` tune the process);
+  ``--arrivals`` accepts an arrival spec string (``poisson(rate=0.2)``,
+  ``bursty(bursts=4,gap=100)``) or a bare registry name tuned by ``--rate``,
+  ``--bursts``, ``--gap``; ``--json`` emits a machine-readable result;
+* ``run``       — execute a declarative scenario (a compact spec string or a
+  ``.toml``/``.json`` scenario file) through a
+  :class:`~repro.scenarios.session.Session`, optionally backed by a
+  persistent ``--store`` directory that serves completed replications on
+  re-run;
 * ``figure1``   — reproduce Figure 1 (delegates to
   :mod:`repro.experiments.figure1`);
 * ``table1``    — reproduce Table 1 (delegates to
@@ -15,23 +21,26 @@ Subcommands:
 
 The figure/table/dynamic subcommands accept the same flags as their
 ``python -m`` counterparts (``--max-k``, ``--runs``, ``--seed``,
-``--workers``, ``--output-dir``, ``--quiet``).
+``--workers``, ``--store``, ``--output-dir``, ``--quiet``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.channel.arrivals import ArrivalProcess, BurstyArrival, PoissonArrival
-from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.channel.arrivals import ArrivalProcess
+from repro.channel.arrivals import build_arrivals as build_arrivals_from_spec
 from repro.core.one_fail_adaptive import OneFailAdaptive
-from repro.engine.dispatch import simulate
-from repro.protocols.aloha import SlottedAloha
-from repro.protocols.backoff import ExponentialBackoff, LogBackoff, LogLogIteratedBackoff, PolynomialBackoff
+from repro.engine.dispatch import available_engines
 from repro.protocols.base import Protocol, available_protocols, get_protocol_class
-from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+from repro.protocols.base import build_protocol as build_protocol_from_spec
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import ResultSet, Session
+from repro.scenarios.spec import SpecError, format_spec
 from repro.util.tables import format_text_table
 
 __all__ = ["main", "build_protocol", "build_arrivals"]
@@ -40,27 +49,13 @@ __all__ = ["main", "build_protocol", "build_arrivals"]
 def build_protocol(name: str, k: int, delta: float | None = None, xi_t: float = 0.5) -> Protocol:
     """Instantiate a registered protocol with sensible evaluation parameters.
 
-    Protocols that require knowledge of the network (Log-fails Adaptive,
-    slotted ALOHA) receive the paper's parameterisation for ``k``; the
-    paper's own protocols ignore ``k`` entirely.
+    .. deprecated::
+        Thin wrapper kept for backward compatibility; it simply assembles a
+        protocol spec string and delegates to
+        :func:`repro.protocols.base.build_protocol`, which is the one place
+        protocol construction now lives.
     """
-    if name == OneFailAdaptive.name:
-        return OneFailAdaptive(delta=delta) if delta is not None else OneFailAdaptive()
-    if name == ExpBackonBackoff.name:
-        return ExpBackonBackoff(delta=delta) if delta is not None else ExpBackonBackoff()
-    if name == LogFailsAdaptive.name:
-        return LogFailsAdaptive.for_k(k, xi_t=xi_t)
-    if name == SlottedAloha.name:
-        return SlottedAloha(k=k)
-    if name in {
-        LogLogIteratedBackoff.name,
-        ExponentialBackoff.name,
-        PolynomialBackoff.name,
-        LogBackoff.name,
-    }:
-        return get_protocol_class(name)()
-    # Fall back to a no-argument constructor for any other registered protocol.
-    return get_protocol_class(name)()
+    return build_protocol_from_spec(_protocol_spec(name, delta=delta, xi_t=xi_t), k)
 
 
 def build_arrivals(
@@ -72,36 +67,107 @@ def build_arrivals(
 ) -> ArrivalProcess | None:
     """Build the arrival process selected by the ``--arrivals`` flag.
 
-    ``"batch"`` returns ``None`` (the static default of :func:`simulate`);
-    ``"poisson"`` injects ``k`` messages at ``rate`` per slot; ``"bursty"``
-    splits ``k`` into ``bursts`` batches ``gap`` slots apart.
+    .. deprecated::
+        Thin wrapper kept for backward compatibility; it assembles an arrival
+        spec string and delegates to
+        :func:`repro.channel.arrivals.build_arrivals` (the registry).
+        ``"batch"`` returns ``None`` (the static default of ``simulate``).
     """
-    if kind == "batch":
-        return None
+    return build_arrivals_from_spec(_arrivals_spec(kind, rate=rate, bursts=bursts, gap=gap), k)
+
+
+def _protocol_spec(name: str, delta: float | None = None, xi_t: float = 0.5) -> str:
+    """Assemble the protocol spec string selected by the simulate flags.
+
+    Mirrors the historical flag routing: ``--delta`` parameterises the two
+    protocols that take a δ (One-fail Adaptive, Exp Back-on/Back-off) and is
+    ignored elsewhere; ``--xi-t`` parameterises Log-fails Adaptive only.
+    """
+    cls = get_protocol_class(name)  # fail early on unknown names
+    params: dict[str, object] = {}
+    if delta is not None and cls.name in ("one-fail-adaptive", "exp-backon-backoff"):
+        params["delta"] = delta
+    if cls.name == "log-fails-adaptive":
+        params["xi_t"] = xi_t
+    return format_spec(name, params)
+
+
+def _arrivals_spec(kind: str, rate: float, bursts: int, gap: int | None) -> str:
+    """Assemble the arrival spec string selected by the simulate flags.
+
+    A ``kind`` that already carries parameters (``"poisson(rate=0.5)"``) is
+    passed through untouched; a bare registry name picks its parameters from
+    the dedicated flags.
+    """
+    if "(" in kind:
+        return kind
     if kind == "poisson":
-        return PoissonArrival(k=k, rate=rate)
+        return format_spec(kind, {"rate": rate})
     if kind == "bursty":
-        if bursts < 1:
-            raise ValueError(f"--bursts must be positive, got {bursts}")
-        burst_size, leftover = divmod(k, bursts)
-        if burst_size < 1 or leftover:
-            raise ValueError(f"k={k} must be a positive multiple of --bursts={bursts}")
-        return BurstyArrival(bursts=bursts, burst_size=burst_size, gap=gap if gap is not None else k)
-    raise ValueError(f"unknown arrival process {kind!r}; choose from batch, poisson, bursty")
+        params: dict[str, object] = {"bursts": bursts}
+        if gap is not None:
+            params["gap"] = gap
+        return format_spec(kind, params)
+    return kind
+
+
+def _print_result_set(result_set: ResultSet) -> None:
+    """Human-readable summary of a scenario execution."""
+    scenario = result_set.scenario
+    rows: list[list[object]] = [
+        ["scenario", result_set.scenario.format()],
+        ["hash", result_set.scenario_hash],
+        ["engine", result_set.engine_used],
+        ["replications", scenario.replications],
+        ["new runs", result_set.new_runs],
+        ["cached runs", result_set.cached_runs],
+        ["solved", f"{len(result_set.solved_results)}/{scenario.replications}"],
+    ]
+    if result_set.makespans:
+        rows.append(["mean makespan (slots)", f"{result_set.mean_makespan:.1f}"])
+        rows.append(["mean steps per node", f"{result_set.mean_ratio:.3f}"])
+    rows.append(["elapsed (s)", f"{result_set.elapsed_seconds:.3f}"])
+    print(format_text_table(["metric", "value"], rows))
+
+
+def _scenario_error(error: Exception) -> int:
+    """Report a bad scenario/spec as a one-line CLI error (exit code 2)."""
+    message = error.args[0] if error.args else error
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    protocol = build_protocol(args.protocol, k=args.k, delta=args.delta, xi_t=args.xi_t)
-    arrivals = build_arrivals(
-        args.arrivals, k=args.k, rate=args.rate, bursts=args.bursts, gap=args.gap
-    )
-    result = simulate(protocol, k=args.k, seed=args.seed, engine=args.engine, arrivals=arrivals)
+    try:
+        scenario = Scenario(
+            protocol=_protocol_spec(args.protocol, delta=args.delta, xi_t=args.xi_t),
+            k=args.k,
+            arrivals=_arrivals_spec(args.arrivals, rate=args.rate, bursts=args.bursts, gap=args.gap),
+            engine=args.engine,
+            replications=1,
+            seed=args.seed,
+            seed_policy="sequential",  # replication 0 runs with exactly --seed
+        )
+    except (SpecError, KeyError) as error:
+        return _scenario_error(error)
+    # batch=False keeps the historical single-run semantics: "auto" picks the
+    # cheapest per-run engine; the batch engine still serves --engine batch.
+    result_set = Session(batch=False).run(scenario)
+    result = result_set.results[0]
+    if args.json:
+        payload = result.to_dict()
+        payload["scenario"] = scenario.format()
+        payload["scenario_hash"] = result_set.scenario_hash
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.solved else 1
+    protocol = scenario.build_protocol()
     rows = [
         ["protocol", protocol.label],
         ["k", args.k],
         ["seed", args.seed],
         ["engine", result.engine],
         ["arrivals", result.metadata.get("arrivals", "BatchArrival")],
+        ["scenario hash", result_set.scenario_hash],
         ["solved", result.solved],
         ["makespan (slots)", result.makespan if result.makespan is not None else "-"],
         ["steps per node", f"{result.steps_per_node:.3f}" if result.solved else "-"],
@@ -113,6 +179,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         rows.append(["mean latency (slots)", f"{sum(latencies) / len(latencies):.1f}"])
     print(format_text_table(["metric", "value"], rows))
     return 0 if result.solved else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    text = args.scenario
+    path = Path(text)
+    # `run` is a new subcommand with no legacy error contract, so every
+    # scenario-level failure — bad spec, unknown registry name, missing file,
+    # invalid parameter — reports as a one-line CLI error, not a traceback.
+    try:
+        if path.suffix.lower() in (".toml", ".json") or path.is_file():
+            scenario = Scenario.from_file(path)
+        else:
+            scenario = Scenario.parse(text)
+        overrides: dict[str, object] = {}
+        if args.replications is not None:
+            overrides["replications"] = args.replications
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            scenario = scenario.replace(**overrides)
+        session = Session(store_dir=args.store, workers=args.workers, batch=args.batch)
+        result_set = session.run(scenario)
+    except (SpecError, KeyError, ValueError, OSError) as error:
+        return _scenario_error(error)
+    if args.json:
+        print(json.dumps(result_set.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_result_set(result_set)
+    return 0 if result_set.all_solved else 1
 
 
 def _cmd_protocols(_: argparse.Namespace) -> int:
@@ -154,21 +249,53 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--protocol", default=OneFailAdaptive.name, choices=available_protocols())
     sim.add_argument("--k", type=int, default=1_000, help="number of contenders")
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--engine", default="auto", choices=["auto", "fair", "window", "slot", "batch"])
+    sim.add_argument("--engine", default="auto", choices=available_engines())
     sim.add_argument("--delta", type=float, default=None, help="protocol delta (paper default if omitted)")
     sim.add_argument("--xi-t", dest="xi_t", type=float, default=0.5, help="xi_t for log-fails-adaptive")
     sim.add_argument(
         "--arrivals",
         default="batch",
-        choices=["batch", "poisson", "bursty"],
-        help="arrival process (batch = the paper's static k-selection)",
+        help="arrival spec string: a registry name (batch, poisson, bursty; batch = the "
+        "paper's static k-selection) tuned by --rate/--bursts/--gap, or a parameterised "
+        "spec like 'poisson(rate=0.2)'",
     )
     sim.add_argument("--rate", type=float, default=0.1, help="per-slot rate for --arrivals poisson")
     sim.add_argument("--bursts", type=int, default=4, help="number of bursts for --arrivals bursty")
     sim.add_argument(
         "--gap", type=int, default=None, help="slots between bursts for --arrivals bursty (default k)"
     )
+    sim.add_argument("--json", action="store_true", help="print a machine-readable JSON result")
     sim.set_defaults(func=_cmd_simulate)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute a declarative scenario (spec string or .toml/.json file)",
+        description="Execute a scenario through a Session.  The scenario is either a "
+        "compact spec string — e.g. \"one-fail-adaptive(delta=2.72) k=1000 reps=10 "
+        "seed=7\" — or the path of a .toml/.json scenario file.  With --store, "
+        "completed replications are persisted and served from the store on re-run "
+        "(a repeated invocation reports 0 new runs).",
+    )
+    run.add_argument("scenario", help="scenario spec string or path to a .toml/.json file")
+    run.add_argument("--store", type=Path, default=None, help="persistent result-store directory")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU); results are identical for any value",
+    )
+    run.add_argument(
+        "--replications", "--reps", type=int, default=None, help="override the replication count"
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the root seed")
+    run.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="vectorise batch-eligible cells (--no-batch replays per-run streams)",
+    )
+    run.add_argument("--json", action="store_true", help="print the machine-readable result set")
+    run.set_defaults(func=_cmd_run)
 
     protocols = subparsers.add_parser("protocols", help="list registered protocols")
     protocols.set_defaults(func=_cmd_protocols)

@@ -56,7 +56,7 @@ from repro.engine.slot_engine import SlotEngine
 from repro.engine.fair_engine import FairEngine
 from repro.engine.window_engine import WindowEngine
 from repro.engine.batch_engine import BatchFairEngine
-from repro.engine.dispatch import pick_engine, simulate, simulate_batch
+from repro.engine.dispatch import available_engines, pick_engine, simulate, simulate_batch
 from repro.engine.validation import compare_engines, makespan_samples
 
 __all__ = [
@@ -68,6 +68,7 @@ __all__ = [
     "simulate",
     "simulate_batch",
     "pick_engine",
+    "available_engines",
     "compare_engines",
     "makespan_samples",
 ]

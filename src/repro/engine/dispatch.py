@@ -26,7 +26,7 @@ from repro.engine.slot_engine import SlotEngine
 from repro.engine.window_engine import WindowEngine
 from repro.protocols.base import FairProtocol, Protocol, WindowedProtocol
 
-__all__ = ["pick_engine", "simulate", "simulate_batch"]
+__all__ = ["available_engines", "pick_engine", "simulate", "simulate_batch"]
 
 _ENGINES = {
     "slot": SlotEngine,
@@ -34,6 +34,16 @@ _ENGINES = {
     "window": WindowEngine,
     "batch": BatchFairEngine,
 }
+
+
+def available_engines() -> list[str]:
+    """Valid ``engine=`` selectors: ``"auto"`` plus every registered engine.
+
+    This is the single source of truth for engine choices — the CLI and the
+    scenario layer derive their accepted values from it, so adding an engine
+    to ``_ENGINES`` propagates everywhere.
+    """
+    return ["auto", *sorted(_ENGINES)]
 
 
 def pick_engine(

@@ -86,3 +86,28 @@ class SimulationResult:
             "seed": self.seed,
             **{f"meta_{key}": value for key, value in self.metadata.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from its :meth:`to_dict` form (JSONL result stores).
+
+        Metadata values that were tuples before serialisation come back as
+        lists — JSON has no tuple — which every consumer in this repository
+        accepts interchangeably.
+        """
+        metadata = {
+            key[len("meta_"):]: value for key, value in data.items() if key.startswith("meta_")
+        }
+        return cls(
+            solved=bool(data["solved"]),
+            makespan=data["makespan"] if data["makespan"] is None else int(data["makespan"]),  # type: ignore[arg-type]
+            k=int(data["k"]),  # type: ignore[call-overload]
+            slots_simulated=int(data["slots_simulated"]),  # type: ignore[call-overload]
+            successes=int(data["successes"]),  # type: ignore[call-overload]
+            collisions=int(data["collisions"]),  # type: ignore[call-overload]
+            silences=int(data["silences"]),  # type: ignore[call-overload]
+            protocol=str(data["protocol"]),
+            engine=str(data["engine"]),
+            seed=int(data["seed"]),  # type: ignore[call-overload]
+            metadata=metadata,
+        )

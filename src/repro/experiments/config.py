@@ -34,11 +34,13 @@ from repro.core.constants import (
     LLIB_R_DEFAULT,
     OFA_DELTA_DEFAULT,
 )
-from repro.core.exp_backon_backoff import ExpBackonBackoff
-from repro.core.one_fail_adaptive import OneFailAdaptive
-from repro.protocols.backoff import LogLogIteratedBackoff
+# The protocol imports also populate the spec-string registry the suite's
+# scenario specs resolve against.
+from repro.core.exp_backon_backoff import ExpBackonBackoff  # noqa: F401
+from repro.core.one_fail_adaptive import OneFailAdaptive  # noqa: F401
+from repro.protocols.backoff import LogLogIteratedBackoff  # noqa: F401
 from repro.protocols.base import Protocol
-from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive  # noqa: F401
 
 __all__ = [
     "ProtocolSpec",
@@ -72,24 +74,40 @@ class ProtocolSpec:
         The curve label used by the paper's figure/table.
     factory:
         Callable mapping ``k`` to a fresh protocol instance.  Protocols that
-        use no knowledge of ``k`` ignore the argument.
+        use no knowledge of ``k`` ignore the argument.  Optional when
+        ``spec`` is given (the factory is then derived from the registry).
     analysis_ratio:
         Callable mapping ``k`` to the steps/k constant predicted by the
         protocol's analysis, or ``None`` when the analysis only gives an
         asymptotic order (Loglog-iterated Back-off).
     analysis_note:
         Text used in the Analysis column when ``analysis_ratio`` is ``None``.
+    spec:
+        Protocol spec string (e.g. ``"one-fail-adaptive(delta=2.72)"``).
+        When set, the sweep runner routes this curve through the declarative
+        :class:`~repro.scenarios.session.Session` — content-hashed, cacheable
+        and resumable; factory-only specs take the legacy in-memory path.
     """
 
     key: str
     label: str
-    factory: Callable[[int], Protocol]
+    factory: Callable[[int], Protocol] | None = None
     analysis_ratio: Callable[[int], float] | None = None
     analysis_note: str = ""
+    spec: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.factory is None and self.spec is None:
+            raise ValueError(f"ProtocolSpec {self.key!r} needs a factory or a spec string")
 
     def build(self, k: int) -> Protocol:
         """Instantiate the protocol for a network of ``k`` contenders."""
-        return self.factory(k)
+        if self.factory is not None:
+            return self.factory(k)
+        from repro.protocols.base import build_protocol
+
+        assert self.spec is not None
+        return build_protocol(self.spec, k)
 
     def analysis_text(self, k: int | None = None, float_format: str = ".1f") -> str:
         """Human-readable entry for the Analysis column of Table 1."""
@@ -128,9 +146,8 @@ def paper_protocol_suite(
             ProtocolSpec(
                 key="lfa-xt2",
                 label="Log-Fails Adaptive (2)",
-                factory=lambda k: LogFailsAdaptive.for_k(
-                    k, xi_t=0.5, xi_delta=LFA_XI_DELTA_DEFAULT, xi_beta=LFA_XI_BETA_DEFAULT
-                ),
+                spec="log-fails-adaptive"
+                f"(xi_t=0.5,xi_delta={LFA_XI_DELTA_DEFAULT},xi_beta={LFA_XI_BETA_DEFAULT})",
                 analysis_ratio=lambda k: core_analysis.lfa_leading_constant(0.5),
             )
         )
@@ -138,9 +155,8 @@ def paper_protocol_suite(
             ProtocolSpec(
                 key="lfa-xt10",
                 label="Log-Fails Adaptive (10)",
-                factory=lambda k: LogFailsAdaptive.for_k(
-                    k, xi_t=0.1, xi_delta=LFA_XI_DELTA_DEFAULT, xi_beta=LFA_XI_BETA_DEFAULT
-                ),
+                spec="log-fails-adaptive"
+                f"(xi_t=0.1,xi_delta={LFA_XI_DELTA_DEFAULT},xi_beta={LFA_XI_BETA_DEFAULT})",
                 analysis_ratio=lambda k: core_analysis.lfa_leading_constant(0.1),
             )
         )
@@ -148,7 +164,7 @@ def paper_protocol_suite(
         ProtocolSpec(
             key="ofa",
             label="One-Fail Adaptive",
-            factory=lambda k: OneFailAdaptive(delta=OFA_DELTA_DEFAULT),
+            spec=f"one-fail-adaptive(delta={OFA_DELTA_DEFAULT})",
             analysis_ratio=lambda k: core_analysis.ofa_leading_constant(OFA_DELTA_DEFAULT),
         )
     )
@@ -156,7 +172,7 @@ def paper_protocol_suite(
         ProtocolSpec(
             key="ebb",
             label="Exp Back-on/Back-off",
-            factory=lambda k: ExpBackonBackoff(delta=EBB_DELTA_DEFAULT),
+            spec=f"exp-backon-backoff(delta={EBB_DELTA_DEFAULT})",
             analysis_ratio=lambda k: core_analysis.ebb_leading_constant(EBB_DELTA_DEFAULT),
         )
     )
@@ -165,7 +181,7 @@ def paper_protocol_suite(
             ProtocolSpec(
                 key="llib",
                 label="Loglog-Iterated Backoff",
-                factory=lambda k: LogLogIteratedBackoff(r=float(LLIB_R_DEFAULT)),
+                spec=f"loglog-iterated-backoff(r={float(LLIB_R_DEFAULT)})",
                 analysis_ratio=None,
                 analysis_note="Theta(lglg k / lglglg k)",
             )

@@ -9,14 +9,19 @@ exercises the same protocols under the two dynamic arrival processes of
 * Poisson arrivals at a configurable per-slot rate, and
 * bursty arrivals (batches of ``burst_size`` every ``gap`` slots).
 
-Every run goes through the ordinary :func:`repro.engine.dispatch.simulate`
-front door with an explicit ``arrivals=`` process, which routes it to the
+Each (protocol, arrival process) cell is described by one declarative
+:class:`~repro.scenarios.scenario.Scenario` built from spec strings
+(``"one-fail-adaptive"`` × ``"poisson(rate=0.05)"`` …) and executed by a
+:class:`~repro.scenarios.session.Session`, which routes the runs through the
 exact node-level engine (the fair and window reductions assume batched
-arrivals); the runs of a cell are independent, so they fan out over a
-:class:`~repro.experiments.parallel.ParallelExecutor` exactly like the static
-sweeps.  The reported metrics are the makespan (slot of the last delivery)
-and the per-message delivery latency (delivery slot − arrival slot), which is
-the quantity a dynamic analysis would bound.
+arrivals) and fans the cells out over a
+:class:`~repro.experiments.parallel.ParallelExecutor`; a ``store_dir`` makes
+the experiment resumable like any other scenario workload.  Callers may still
+pass materialised protocol/arrival *instances*; those cells run through the
+same executor without the scenario cache.  The reported metrics are the
+makespan (slot of the last delivery) and the per-message delivery latency
+(delivery slot − arrival slot), which is the quantity a dynamic analysis
+would bound.
 
 Run from the command line with::
 
@@ -28,13 +33,15 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
-from repro.channel.arrivals import ArrivalProcess, BurstyArrival, PoissonArrival
-from repro.core.exp_backon_backoff import ExpBackonBackoff
-from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.channel.arrivals import ArrivalProcess
+from repro.engine.result import SimulationResult
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit
 from repro.protocols.base import Protocol
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import Session
 from repro.util.rng import derive_seeds
 from repro.util.tables import format_text_table
 
@@ -84,28 +91,72 @@ class DynamicResult:
         return format_text_table(headers, rows)
 
 
-def _default_protocols() -> list[tuple[str, Protocol]]:
+def _default_protocols() -> list[tuple[str, str]]:
     return [
-        ("One-Fail Adaptive", OneFailAdaptive()),
-        ("Exp Back-on/Back-off", ExpBackonBackoff()),
+        ("One-Fail Adaptive", "one-fail-adaptive"),
+        ("Exp Back-on/Back-off", "exp-backon-backoff"),
     ]
 
 
-def _default_arrivals(k: int) -> list[tuple[str, ArrivalProcess]]:
+def _default_arrivals(k: int) -> list[tuple[str, str]]:
+    burst_size = max(k // 4, 1)
     return [
-        ("poisson rate=0.05", PoissonArrival(k=k, rate=0.05)),
-        ("poisson rate=0.2", PoissonArrival(k=k, rate=0.2)),
-        ("bursty 4x" + str(k // 4), BurstyArrival(bursts=4, burst_size=max(k // 4, 1), gap=max(k, 1))),
+        ("poisson rate=0.05", "poisson(rate=0.05)"),
+        ("poisson rate=0.2", "poisson(rate=0.2)"),
+        (
+            "bursty 4x" + str(burst_size),
+            f"bursty(bursts=4,burst_size={burst_size},gap={max(k, 1)})",
+        ),
     ]
+
+
+def _arrival_total(spec: str, k: int) -> int:
+    """Messages actually injected by ``spec`` built for a nominal ``k``."""
+    from repro.channel.arrivals import get_arrival_class
+    from repro.scenarios.spec import parse_spec
+
+    name, params = parse_spec(spec)
+    process = get_arrival_class(name).from_spec(k, **params)
+    return process.total_messages
+
+
+def _aggregate_cell(
+    protocol_label: str,
+    arrival_label: str,
+    k: int,
+    results: Sequence[SimulationResult],
+) -> DynamicCell:
+    makespans: list[float] = []
+    latencies: list[float] = []
+    unsolved = 0
+    for result in results:
+        if not result.solved or result.makespan is None:
+            unsolved += 1
+            continue
+        makespans.append(float(result.makespan))
+        latencies.extend(float(latency) for latency in result.metadata["latencies"])
+    if not makespans:
+        raise RuntimeError(
+            f"dynamic experiment: no solved runs for {protocol_label} / {arrival_label}"
+        )
+    return DynamicCell(
+        protocol_label=protocol_label,
+        arrivals_description=arrival_label,
+        k=k,
+        makespan=summarize_makespans(makespans),
+        latency=summarize_makespans(latencies),
+        unsolved_runs=unsolved,
+    )
 
 
 def run_dynamic_experiment(
     k: int = 64,
     runs: int = 5,
     seed: int = 23,
-    protocols: Sequence[tuple[str, Protocol]] | None = None,
-    arrival_factories: Sequence[tuple[str, ArrivalProcess]] | None = None,
+    protocols: Sequence[tuple[str, Protocol | str]] | None = None,
+    arrival_factories: Sequence[tuple[str, ArrivalProcess | str]] | None = None,
     workers: int = 1,
+    store_dir: str | Path | None = None,
 ) -> DynamicResult:
     """Measure makespan and delivery latency under dynamic arrivals.
 
@@ -120,9 +171,14 @@ def run_dynamic_experiment(
         Root seed.
     protocols, arrival_factories:
         Optional overrides of the default protocol and arrival-process sets.
+        Entries may be spec strings (cacheable scenario path) or materialised
+        instances (direct executor path).
     workers:
         Worker processes (``1`` = serial, ``0`` = one per CPU); per-run seeds
         are derived up front, so the results do not depend on this.
+    store_dir:
+        Optional Session store directory; spec-string cells completed on a
+        previous run are served from it.
     """
     if k < 2:
         raise ValueError(f"k must be at least 2, got {k}")
@@ -131,52 +187,66 @@ def run_dynamic_experiment(
         list(arrival_factories) if arrival_factories is not None else _default_arrivals(k)
     )
 
-    units: list[SimulationUnit] = []
-    cell_order: list[tuple[str, str, ArrivalProcess]] = []
+    scenario_cells: list[tuple[int, Scenario]] = []
+    unit_cells: list[tuple[int, list[SimulationUnit], int]] = []
+    labels: list[tuple[str, str, int]] = []
     for protocol_index, (protocol_label, protocol) in enumerate(protocol_set):
         for arrival_index, (arrival_label, arrivals) in enumerate(arrival_set):
-            seeds = derive_seeds(seed + 101 * protocol_index + 13 * arrival_index, runs)
-            cell_order.append((protocol_label, arrival_label, arrivals))
-            for run_seed in seeds:
-                units.append(
+            cell_index = len(labels)
+            cell_seed = seed + 101 * protocol_index + 13 * arrival_index
+            if isinstance(protocol, str) and isinstance(arrivals, str):
+                # The arrival spec rules the cell's message count (an explicit
+                # burst shape may round k down, as the instance path always did).
+                cell_k = _arrival_total(arrivals, k)
+                scenario = Scenario(
+                    protocol=protocol,
+                    k=cell_k,
+                    arrivals=arrivals,
+                    replications=runs,
+                    seed=cell_seed,
+                )
+                scenario_cells.append((cell_index, scenario))
+            else:
+                if isinstance(protocol, str):
+                    from repro.protocols.base import build_protocol
+
+                    built_protocol = build_protocol(protocol, k)
+                else:
+                    built_protocol = protocol
+                if isinstance(arrivals, str):
+                    from repro.channel.arrivals import build_arrivals
+
+                    arrivals = build_arrivals(arrivals, k)
+                cell_k = arrivals.total_messages if arrivals is not None else k
+                units = [
                     SimulationUnit(
-                        protocol=protocol,
-                        k=arrivals.total_messages,
+                        protocol=built_protocol,
+                        k=cell_k,
                         seed=run_seed,
                         arrivals=arrivals,
-                        tag=(protocol_label, arrival_label),
+                        tag=cell_index,
                     )
-                )
+                    for run_seed in derive_seeds(cell_seed, runs)
+                ]
+                unit_cells.append((cell_index, units, cell_k))
+            labels.append((protocol_label, arrival_label, cell_k))
 
-    outcomes = ParallelExecutor(workers=workers).run(units)
+    results_by_cell: dict[int, list[SimulationResult]] = {}
+    if scenario_cells:
+        session = Session(store_dir=store_dir, workers=workers)
+        result_sets = session.run_all([scenario for _, scenario in scenario_cells])
+        for (cell_index, _), result_set in zip(scenario_cells, result_sets):
+            results_by_cell[cell_index] = list(result_set.results)
+    if unit_cells:
+        flat_units = [unit for _, units, _ in unit_cells for unit in units]
+        outcomes = ParallelExecutor(workers=workers).run(flat_units)
+        for outcome in outcomes:
+            results_by_cell.setdefault(outcome.tag, []).extend(outcome.results)
 
-    cells: list[DynamicCell] = []
-    for cell_index, (protocol_label, arrival_label, arrivals) in enumerate(cell_order):
-        cell_outcomes = outcomes[cell_index * runs : (cell_index + 1) * runs]
-        makespans: list[float] = []
-        latencies: list[float] = []
-        unsolved = 0
-        for outcome in cell_outcomes:
-            result = outcome.result
-            if not result.solved or result.makespan is None:
-                unsolved += 1
-                continue
-            makespans.append(float(result.makespan))
-            latencies.extend(float(latency) for latency in result.metadata["latencies"])
-        if not makespans:
-            raise RuntimeError(
-                f"dynamic experiment: no solved runs for {protocol_label} / {arrival_label}"
-            )
-        cells.append(
-            DynamicCell(
-                protocol_label=protocol_label,
-                arrivals_description=arrival_label,
-                k=arrivals.total_messages,
-                makespan=summarize_makespans(makespans),
-                latency=summarize_makespans(latencies),
-                unsolved_runs=unsolved,
-            )
-        )
+    cells = [
+        _aggregate_cell(protocol_label, arrival_label, cell_k, results_by_cell[cell_index])
+        for cell_index, (protocol_label, arrival_label, cell_k) in enumerate(labels)
+    ]
     return DynamicResult(cells=cells)
 
 
@@ -192,12 +262,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=1,
         help="worker processes (0 = one per CPU); results are identical for any value",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="Session result-store directory (completed cells are reused on re-run)",
+    )
     args = parser.parse_args(argv)
 
     print(f"Dynamic k-selection with k = {args.k} messages, {args.runs} runs per cell")
     print("(node-level simulation; latency = delivery slot - arrival slot)")
     print()
-    result = run_dynamic_experiment(k=args.k, runs=args.runs, seed=args.seed, workers=args.workers)
+    result = run_dynamic_experiment(
+        k=args.k, runs=args.runs, seed=args.seed, workers=args.workers, store_dir=args.store
+    )
     print(result.render())
     return 0
 

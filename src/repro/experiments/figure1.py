@@ -75,6 +75,7 @@ def reproduce_figure1(
     specs: list[ProtocolSpec] | None = None,
     engine: str = "auto",
     progress: bool = False,
+    store_dir: Path | None = None,
 ) -> Figure1Result:
     """Run the Figure 1 sweep and return the curves.
 
@@ -89,6 +90,9 @@ def reproduce_figure1(
         Engine selector (``"auto"`` picks the cheapest exact engine).
     progress:
         When true, prints one line per completed (protocol, k) cell to stderr.
+    store_dir:
+        Optional Session result-store directory: completed cells are
+        persisted there and served from it on re-run (resumable sweeps).
     """
     if config is None:
         config = ExperimentConfig()
@@ -104,6 +108,7 @@ def reproduce_figure1(
         config,
         engine=engine,
         progress=progress_callback if progress else None,
+        store_dir=store_dir,
     )
     series = {spec.key: sweep.series(spec.key) for spec in specs}
     labels = {spec.key: spec.label for spec in specs}
@@ -135,6 +140,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for CSV/gnuplot/JSON artefacts (omit to skip writing)",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="Session result-store directory: completed cells are persisted there "
+        "and served from it on re-run (resumable sweeps)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
@@ -145,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         batch=args.batch,
     )
-    figure = reproduce_figure1(config=config, progress=not args.quiet)
+    figure = reproduce_figure1(config=config, progress=not args.quiet, store_dir=args.store)
 
     print("Figure 1 — number of steps to solve static k-selection, per number of nodes k")
     print()

@@ -35,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.channel.arrivals import ArrivalProcess
+from repro.channel.model import ChannelModel
 from repro.engine.dispatch import simulate, simulate_batch
 from repro.engine.result import SimulationResult
 from repro.protocols.base import Protocol
@@ -65,6 +66,9 @@ class SimulationUnit:
         Safety cap forwarded to the engine.
     arrivals:
         Optional arrival process (routes the unit to the node-level engine).
+    channel:
+        Optional non-default channel model, forwarded to the engine
+        (``None`` is the paper's channel).
     tag:
         Opaque caller marker (e.g. a ``(spec_key, k)`` cell id); carried
         through to :class:`UnitOutcome` untouched.
@@ -80,6 +84,7 @@ class SimulationUnit:
     engine: str = "auto"
     max_slots: int | None = None
     arrivals: ArrivalProcess | None = None
+    channel: ChannelModel | None = None
     tag: object = None
     seeds: tuple[int, ...] | None = None
 
@@ -121,6 +126,7 @@ def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
             unit.protocol,
             unit.k,
             unit.seeds,
+            channel=unit.channel,
             max_slots=unit.max_slots,
         )
         return UnitOutcome(
@@ -135,6 +141,7 @@ def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
         unit.k,
         seed=unit.seed,
         engine=unit.engine,
+        channel=unit.channel,
         max_slots=unit.max_slots,
         arrivals=unit.arrivals,
     )

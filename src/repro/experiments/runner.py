@@ -6,29 +6,34 @@ sweep of the same shape: for each protocol specification and each network size
 makespans.  :func:`run_sweep` implements that shape once; the experiment
 modules wrap it with the paper's specific protocol suites and presentation.
 
-The sweep's repetitions are mutually independent, so :func:`run_sweep`
-flattens the whole sweep into ``(protocol, k, seed)`` work units and hands
-them to a :class:`~repro.experiments.parallel.ParallelExecutor`.  Seeds are
-derived *before* dispatch, exactly as the serial path always derived them, so
-``workers=N`` produces bit-identical cells to ``workers=1``.
+Since the declarative scenario API landed, :func:`run_sweep` is a thin
+*scenario-preset builder*: each (protocol, k) cell whose
+:class:`~repro.experiments.config.ProtocolSpec` carries a spec string becomes
+one frozen :class:`~repro.scenarios.scenario.Scenario`, and the whole grid is
+executed by a :class:`~repro.scenarios.session.Session` — which fans cells out
+over a :class:`~repro.experiments.parallel.ParallelExecutor`, groups
+batch-eligible cells into one vectorised
+:class:`~repro.engine.batch_engine.BatchFairEngine` call each, and (when
+``store_dir`` is given) persists every replication to a JSONL store so an
+interrupted sweep resumes with only the missing cells executed.
 
-Cells whose protocol is batch-eligible (see
-:meth:`~repro.engine.batch_engine.BatchFairEngine.supports`) are grouped into
-**one vectorised work unit per cell** — all of the cell's replications run in
-lockstep inside a single :class:`BatchFairEngine` call — unless batching is
-disabled (``batch=False`` / ``config.batch``), an explicit per-run engine is
-requested, or an arrival process is in play.  Batching composes with the
-executor: cells fan out across worker processes while replications vectorise
-within each.  Batched cells are deterministic and independent of the worker
-count, but their makespans are a *different* (distributionally identical)
-sample than the per-run path's, since the whole batch consumes one
-interleaved random stream.
+Cell seeds are derived *before* dispatch, exactly as the serial path always
+derived them, so ``workers=N`` produces bit-identical cells to ``workers=1``,
+and the Session path produces bit-identical cells to the historical direct
+path.  Batched cells are deterministic but sample a *different*
+(distributionally identical) set of runs than ``batch=False``, which replays
+the historical per-run streams.
+
+Protocol specifications that only provide a ``factory`` callable (no spec
+string) cannot be content-hashed; their cells take a legacy in-memory unit
+path with the same seeds, engine selection and batching rules.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.channel.arrivals import ArrivalProcess
@@ -36,12 +41,24 @@ from repro.engine.batch_engine import BatchFairEngine
 from repro.engine.result import SimulationResult
 from repro.experiments.config import ExperimentConfig, ProtocolSpec
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import Session
 from repro.util.rng import derive_seeds
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "cell_seed_root"]
 
 #: Signature of the optional progress callback: (spec, k, completed_runs, total_runs).
 ProgressCallback = Callable[[ProtocolSpec, int, int, int], None]
+
+
+def cell_seed_root(config: ExperimentConfig, spec_index: int, k_index: int) -> int:
+    """Root seed of one (protocol, k) cell — the sweep's historical derivation.
+
+    Depends only on the sweep seed and the cell's position in the grid, so
+    every execution path (serial, parallel, batched, Session-cached) sees the
+    same per-replication seeds.
+    """
+    return config.seed + 1_000_003 * spec_index + 7_919 * k_index
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,8 @@ class SweepCell:
     (the sum of per-run durations), not wall-clock time: with ``workers > 1``
     the runs execute concurrently and interleaved with other cells, so the
     sum is the only definition that is comparable across worker counts.
+    Replications served from a Session store contribute their recorded
+    durations.
     """
 
     spec_key: str
@@ -129,6 +148,7 @@ def run_sweep(
     workers: int | None = None,
     arrivals_factory: Callable[[int], ArrivalProcess] | None = None,
     batch: bool | None = None,
+    store_dir: str | Path | None = None,
 ) -> SweepResult:
     """Run every (protocol, k, repetition) combination of the sweep.
 
@@ -152,7 +172,8 @@ def run_sweep(
         Optional callback invoked after every completed run.  With
         ``workers > 1`` the callback fires in completion order; its
         ``completed`` argument is always the number of runs done *in that
-        cell* so far.
+        cell* so far.  Replications served from the store are reported
+        immediately, so ``completed`` reaches the total either way.
     workers:
         Worker processes for the sweep; defaults to ``config.workers``.
         ``1`` runs serially in-process, ``0``/``None`` at config level means
@@ -163,11 +184,19 @@ def run_sweep(
         run goes through the node-level engine under that arrival process
         (the dynamic workloads of the paper's Section 6) and batching is
         disabled — the batch reduction assumes batched slot-0 arrivals.
+        Cells with an arrivals factory take the legacy path (a factory is
+        not serializable; use scenario arrival spec strings for cacheable
+        dynamic cells).
     batch:
         Whether eligible cells run as one vectorised batch; defaults to
         ``config.batch``.  Ineligible cells (non-fair protocols, protocols
         without a vectorised state, custom arrivals, explicit per-run
         ``engine`` selectors) silently take the per-run path either way.
+    store_dir:
+        Optional Session store directory.  When given, every replication is
+        persisted there and completed cells are served from the store on
+        re-run — an interrupted sweep resumes with only missing cells
+        executed.
     """
     if not specs:
         raise ValueError("run_sweep needs at least one protocol specification")
@@ -175,76 +204,148 @@ def run_sweep(
     effective_batch = config.batch if batch is None else batch
     result = SweepResult(config=config, specs=list(specs))
 
-    units: list[SimulationUnit] = []
+    scenario_cells: list[tuple[ProtocolSpec, int]] = []
+    scenarios: list[Scenario] = []
+    legacy_units: list[SimulationUnit] = []
+    legacy_cells: list[tuple[ProtocolSpec, int]] = []
     cell_order: list[tuple[ProtocolSpec, int]] = []
     for spec_index, spec in enumerate(specs):
         for k_index, k in enumerate(config.k_values):
-            cell_seed_root = config.seed + 1_000_003 * spec_index + 7_919 * k_index
-            seeds = derive_seeds(cell_seed_root, config.runs)
+            seed_root = cell_seed_root(config, spec_index, k_index)
             cell_order.append((spec, k))
-            arrivals = arrivals_factory(k) if arrivals_factory is not None else None
-            protocol = spec.build(k)
-            batch_cell = (
-                (effective_batch or engine == "batch")
-                and engine in ("auto", "batch")
-                and arrivals is None
-                and BatchFairEngine.supports(protocol)
-            )
-            if batch_cell:
-                units.append(
-                    SimulationUnit(
-                        protocol=protocol,
+            if spec.spec is not None and arrivals_factory is None:
+                scenario_cells.append((spec, k))
+                scenarios.append(
+                    Scenario(
+                        protocol=spec.spec,
                         k=k,
                         engine=engine,
-                        max_slots=config.max_slots_factor * k,
-                        tag=(spec.key, k),
-                        seeds=tuple(seeds),
+                        replications=config.runs,
+                        seed=seed_root,
+                        max_slots_factor=config.max_slots_factor,
                     )
                 )
                 continue
-            for seed in seeds:
-                units.append(
-                    SimulationUnit(
-                        protocol=protocol,
-                        k=k,
-                        seed=seed,
-                        engine=engine,
-                        max_slots=config.max_slots_factor * k,
-                        arrivals=arrivals,
-                        tag=(spec.key, k),
-                    )
-                )
+            legacy_cells.append((spec, k))
+            legacy_units.extend(
+                _legacy_cell_units(spec, k, seed_root, config, engine, effective_batch,
+                                   arrivals_factory)
+            )
 
+    staged: dict[tuple[str, int], SweepCell] = {}
+
+    if scenarios:
+        session = Session(store_dir=store_dir, workers=effective_workers, batch=effective_batch)
+
+        def session_progress(index: int, _scenario: Scenario, done: int, total: int) -> None:
+            spec, k = scenario_cells[index]
+            assert progress is not None
+            progress(spec, k, done, total)
+
+        result_sets = session.run_all(
+            scenarios, progress=session_progress if progress is not None else None
+        )
+        for (spec, k), result_set in zip(scenario_cells, result_sets):
+            staged[(spec.key, k)] = SweepCell(
+                spec_key=spec.key,
+                label=spec.label,
+                k=k,
+                results=result_set.results,
+                elapsed_seconds=result_set.elapsed_seconds,
+            )
+
+    if legacy_units:
+        staged.update(
+            _run_legacy_units(legacy_units, legacy_cells, config, effective_workers, progress)
+        )
+
+    for spec, k in cell_order:
+        result.cells[(spec.key, k)] = staged[(spec.key, k)]
+    return result
+
+
+def _legacy_cell_units(
+    spec: ProtocolSpec,
+    k: int,
+    seed_root: int,
+    config: ExperimentConfig,
+    engine: str,
+    effective_batch: bool,
+    arrivals_factory: Callable[[int], ArrivalProcess] | None,
+) -> list[SimulationUnit]:
+    """Work units for one factory-only (or arrivals-factory) cell."""
+    seeds = derive_seeds(seed_root, config.runs)
+    arrivals = arrivals_factory(k) if arrivals_factory is not None else None
+    protocol = spec.build(k)
+    batch_cell = (
+        (effective_batch or engine == "batch")
+        and engine in ("auto", "batch")
+        and arrivals is None
+        and BatchFairEngine.supports(protocol)
+    )
+    if batch_cell:
+        return [
+            SimulationUnit(
+                protocol=protocol,
+                k=k,
+                engine=engine,
+                max_slots=config.max_slots_factor * k,
+                tag=(spec.key, k),
+                seeds=tuple(seeds),
+            )
+        ]
+    return [
+        SimulationUnit(
+            protocol=protocol,
+            k=k,
+            seed=seed,
+            engine=engine,
+            max_slots=config.max_slots_factor * k,
+            arrivals=arrivals,
+            tag=(spec.key, k),
+        )
+        for seed in seeds
+    ]
+
+
+def _run_legacy_units(
+    units: list[SimulationUnit],
+    cells: list[tuple[ProtocolSpec, int]],
+    config: ExperimentConfig,
+    workers: int | None,
+    progress: ProgressCallback | None,
+) -> dict[tuple[str, int], SweepCell]:
+    """Execute factory-only cells exactly as the pre-scenario runner did."""
     completed_per_cell: dict[tuple[str, int], int] = {}
-    spec_by_key = {spec.key: spec for spec in specs}
+    spec_by_key = {spec.key: spec for spec, _ in cells}
 
     def unit_progress(outcome: UnitOutcome) -> None:
-        if progress is None:
-            return
+        assert progress is not None
         spec_key, k = outcome.tag
         for _ in outcome.results:
             done = completed_per_cell.get((spec_key, k), 0) + 1
             completed_per_cell[(spec_key, k)] = done
             progress(spec_by_key[spec_key], k, done, config.runs)
 
-    outcomes = ParallelExecutor(workers=effective_workers).run(
+    outcomes = ParallelExecutor(workers=workers).run(
         units, progress=unit_progress if progress is not None else None
     )
 
     cell_results: dict[tuple[str, int], list[SimulationResult]] = {
-        (spec.key, k): [] for spec, k in cell_order
+        (spec.key, k): [] for spec, k in cells
     }
     cell_elapsed: dict[tuple[str, int], float] = {key: 0.0 for key in cell_results}
     for outcome in outcomes:
         cell_results[outcome.tag].extend(outcome.results)
         cell_elapsed[outcome.tag] += outcome.elapsed_seconds
 
-    for spec, k in cell_order:
-        result.cells[(spec.key, k)] = SweepCell(
+    return {
+        (spec.key, k): SweepCell(
             spec_key=spec.key,
             label=spec.label,
             k=k,
             results=tuple(cell_results[(spec.key, k)]),
             elapsed_seconds=cell_elapsed[(spec.key, k)],
         )
-    return result
+        for spec, k in cells
+    }

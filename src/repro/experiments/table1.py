@@ -119,8 +119,13 @@ def reproduce_table1(
     specs: list[ProtocolSpec] | None = None,
     engine: str = "auto",
     progress: bool = False,
+    store_dir: Path | None = None,
 ) -> Table1Result:
-    """Run the Table 1 sweep (same sweep as Figure 1) and return the ratios."""
+    """Run the Table 1 sweep (same sweep as Figure 1) and return the ratios.
+
+    ``store_dir`` names an optional Session result store; completed cells are
+    persisted there and served from it on re-run (resumable sweeps).
+    """
     if config is None:
         config = ExperimentConfig()
     if specs is None:
@@ -135,6 +140,7 @@ def reproduce_table1(
         config,
         engine=engine,
         progress=progress_callback if progress else None,
+        store_dir=store_dir,
     )
     return Table1Result(sweep=sweep, specs=list(specs))
 
@@ -164,6 +170,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for CSV/Markdown/JSON artefacts (omit to skip writing)",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="Session result-store directory: completed cells are persisted there "
+        "and served from it on re-run (resumable sweeps)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
@@ -174,7 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         batch=args.batch,
     )
-    table = reproduce_table1(config=config, progress=not args.quiet)
+    table = reproduce_table1(config=config, progress=not args.quiet, store_dir=args.store)
 
     print("Table 1 — ratio steps/nodes as a function of the number of nodes k (measured)")
     print()

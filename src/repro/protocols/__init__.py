@@ -24,6 +24,7 @@ from repro.protocols.base import (
     ProtocolFactory,
     WindowedProtocol,
     available_protocols,
+    build_protocol,
     get_protocol_class,
     register_protocol,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "register_protocol",
     "get_protocol_class",
     "available_protocols",
+    "build_protocol",
     "SlottedAloha",
     "WindowBackoffProtocol",
     "ExponentialBackoff",

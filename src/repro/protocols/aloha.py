@@ -73,6 +73,12 @@ class SlottedAloha(FairProtocol):
         self.track_deliveries = bool(track_deliveries)
         self.reset()
 
+    @classmethod
+    def from_spec(cls, k: int, **params: object) -> "SlottedAloha":
+        """Spec-string hook: the required knowledge ``k`` is the network size."""
+        params.setdefault("k", k)
+        return cls(**params)  # type: ignore[arg-type]
+
     def reset(self) -> None:
         self._remaining = self.k
 

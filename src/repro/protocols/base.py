@@ -47,6 +47,7 @@ __all__ = [
     "register_protocol",
     "get_protocol_class",
     "available_protocols",
+    "build_protocol",
 ]
 
 #: A protocol factory maps the number of contenders ``k`` to a fresh protocol
@@ -90,6 +91,28 @@ def available_protocols() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def build_protocol(spec: str, k: int) -> "Protocol":
+    """Instantiate a protocol from a parameterised spec string.
+
+    ``spec`` is a registry name with optional constructor parameters, e.g.
+    ``"one-fail-adaptive"`` or ``"log-fails-adaptive(xi_t=0.1)"`` (see
+    :mod:`repro.scenarios.spec` for the grammar).  ``k`` is the network size
+    the protocol will face; it is forwarded to the class's
+    :meth:`Protocol.from_spec` hook so that protocols *requiring* knowledge of
+    the contention (Log-fails Adaptive's ``ε ≤ 1/(k+1)``, slotted ALOHA's
+    ``k``) can derive their required parameters, while the paper's own
+    oblivious protocols ignore it.
+    """
+    from repro.scenarios.spec import parse_spec
+
+    name, params = parse_spec(spec)
+    cls = get_protocol_class(name)
+    try:
+        return cls.from_spec(k, **params)
+    except TypeError as error:
+        raise ValueError(f"cannot build protocol from spec {spec!r}: {error}") from error
+
+
 class Protocol(abc.ABC):
     """Per-station contention-resolution algorithm.
 
@@ -119,6 +142,17 @@ class Protocol(abc.ABC):
     @abc.abstractmethod
     def notify(self, observation: Observation) -> None:
         """Consume the end-of-slot feedback visible to this station."""
+
+    @classmethod
+    def from_spec(cls, k: int, **params: object) -> "Protocol":
+        """Instantiate from spec-string parameters for a network of size ``k``.
+
+        The default simply forwards the parameters to the constructor;
+        protocols whose evaluation parameterisation depends on the network
+        size (see :attr:`requires_knowledge`) override this to derive the
+        missing parameters from ``k``.
+        """
+        return cls(**params)  # type: ignore[call-arg]
 
     def spawn(self) -> "Protocol":
         """Return an independent copy of this protocol, reset to its initial state.

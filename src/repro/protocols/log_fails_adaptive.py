@@ -188,6 +188,13 @@ class LogFailsAdaptive(FairProtocol):
             raise ValueError(f"k must be positive, got {k}")
         return cls(epsilon=1.0 / (k + 1.0), xi_t=xi_t, xi_delta=xi_delta, xi_beta=xi_beta)
 
+    @classmethod
+    def from_spec(cls, k: int, **params: object) -> "LogFailsAdaptive":
+        """Spec-string hook: default ``ε = 1/(k+1)`` unless given explicitly."""
+        if "epsilon" in params:
+            return cls(**params)  # type: ignore[arg-type]
+        return cls.for_k(k, **params)  # type: ignore[arg-type]
+
     # ----------------------------------------------------------------- state
     def reset(self) -> None:
         # The AT estimator starts at 1 and is ramped up/corrected by the

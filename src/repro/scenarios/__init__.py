@@ -1,0 +1,42 @@
+"""Declarative scenario API: spec strings, scenarios, sessions, result stores.
+
+This package is the spec-driven front door to the whole library:
+
+* :mod:`repro.scenarios.spec` — the ``"name(key=value)"`` spec-string grammar
+  shared by the protocol, arrival and channel registries;
+* :mod:`repro.scenarios.scenario` — the frozen, hashable :class:`Scenario`
+  value object (string ⇄ dict ⇄ JSON ⇄ TOML round-trips);
+* :mod:`repro.scenarios.store` — the per-scenario JSONL result store;
+* :mod:`repro.scenarios.session` — the :class:`Session` service that plans,
+  caches, resumes and fans out scenario executions.
+
+Quickstart::
+
+    from repro import Scenario, Session
+
+    scenario = Scenario.parse("one-fail-adaptive k=1000 reps=10 seed=7")
+    result_set = Session(store_dir="results/store").run(scenario)
+    print(result_set.mean_makespan, result_set.new_runs, result_set.cached_runs)
+
+Re-running the same scenario against the same store performs zero new
+simulations — every replication is served from the JSONL store.
+"""
+
+from repro.scenarios.scenario import SEED_POLICIES, Scenario
+from repro.scenarios.session import ResultSet, Session, SessionProgress
+from repro.scenarios.spec import SpecError, canonical_spec, format_spec, parse_spec
+from repro.scenarios.store import ResultStore, StoredRun
+
+__all__ = [
+    "Scenario",
+    "SEED_POLICIES",
+    "Session",
+    "SessionProgress",
+    "ResultSet",
+    "ResultStore",
+    "StoredRun",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "canonical_spec",
+]

@@ -1,0 +1,314 @@
+"""The declarative :class:`Scenario`: one serializable description per run cell.
+
+The paper's evaluation — and every workload this repository serves — is a grid
+of *cells*: (protocol, network size, arrival process, channel, engine,
+replications, seeds).  A :class:`Scenario` captures one cell as a frozen,
+hashable value object built from flat spec strings, so that
+
+* every run is describable as a single string, dict, JSON or TOML document
+  (``parse``/``format``/``to_dict``/``from_file`` round-trip exactly);
+* equal scenarios hash equally (:meth:`Scenario.content_hash`), which is what
+  lets :class:`~repro.scenarios.session.Session` cache, resume and deduplicate
+  work across processes and process restarts; and
+* the serial, parallel and batch execution paths are selected *from the
+  scenario*, not by the caller picking an entry point.
+
+The compact string form puts the protocol spec first and everything else as
+``key=value`` tokens::
+
+    one-fail-adaptive(delta=2.72) k=1000 reps=10 seed=7 arrivals=poisson(rate=0.1)
+
+Identity and hashing
+--------------------
+:meth:`content_hash` covers every field *except* ``replications``: the
+replication seeds are a prefix-stable stream (replication ``i`` gets the same
+seed no matter how many replications the scenario asks for), so raising the
+replication count extends a cell rather than renaming it.  For per-run
+execution a result store therefore reuses the first ``R`` outcomes when asked
+for ``R' > R``; cells executed by the vectorised batch engine are reused
+all-or-nothing instead (their results depend on the batch composition), which
+keeps every served result set bit-identical to a fresh run of the same
+scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.channel.arrivals import ArrivalProcess, build_arrivals, get_arrival_class
+from repro.channel.model import ChannelModel, build_channel
+from repro.engine.dispatch import available_engines
+from repro.protocols.base import Protocol, build_protocol, get_protocol_class
+from repro.scenarios.spec import SpecError, canonical_spec, parse_spec, parse_value, split_top_level
+from repro.util.rng import derive_seeds
+
+__all__ = ["Scenario", "SEED_POLICIES"]
+
+#: How per-replication seeds derive from the root seed: ``"derive"`` spawns
+#: independent child seeds via ``numpy.random.SeedSequence`` (the sweep
+#: runner's historical derivation); ``"sequential"`` uses ``seed, seed+1, …``
+#: so that replication 0 runs with exactly the root seed (``repro simulate``).
+SEED_POLICIES = ("derive", "sequential")
+
+#: Compact-string keys, in canonical output order.  ``reps`` is accepted as a
+#: shorthand for ``replications`` on input.
+_STRING_KEYS = (
+    "k",
+    "reps",
+    "seed",
+    "arrivals",
+    "channel",
+    "engine",
+    "seed_policy",
+    "max_slots_factor",
+)
+_KEY_ALIASES = {"reps": "replications", "replications": "replications"}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-described simulation cell (see module docstring).
+
+    Attributes
+    ----------
+    protocol:
+        Protocol spec string, e.g. ``"log-fails-adaptive(xi_t=0.1)"``.
+        Protocols requiring knowledge of the network derive it from ``k``
+        at build time (:func:`repro.protocols.base.build_protocol`).
+    k:
+        Number of messages (network size).
+    arrivals:
+        Arrival spec string; ``"batch"`` is the paper's static k-selection.
+    channel:
+        Channel spec string; ``"default"`` is the paper's no-CD channel.
+    engine:
+        Engine selector (one of :func:`repro.engine.dispatch.available_engines`).
+    replications:
+        Number of independently seeded runs of the cell.
+    seed:
+        Root seed; per-replication seeds follow from it and ``seed_policy``.
+    seed_policy:
+        One of :data:`SEED_POLICIES`.
+    max_slots_factor:
+        Per-run safety cap, expressed as a multiple of ``k``.
+    """
+
+    protocol: str
+    k: int
+    arrivals: str = "batch"
+    channel: str = "default"
+    engine: str = "auto"
+    replications: int = 1
+    seed: int = 0
+    seed_policy: str = "derive"
+    max_slots_factor: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.replications < 1:
+            raise ValueError(f"replications must be positive, got {self.replications}")
+        if self.max_slots_factor < 2:
+            raise ValueError(f"max_slots_factor must be at least 2, got {self.max_slots_factor}")
+        if self.seed_policy not in SEED_POLICIES:
+            raise ValueError(
+                f"unknown seed_policy {self.seed_policy!r}; choose from {SEED_POLICIES}"
+            )
+        if self.engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {available_engines()}"
+            )
+        # Resolve the three component specs now so a typo fails at
+        # construction, with a registry error, not mid-sweep.
+        protocol_name, _ = parse_spec(self.protocol)
+        get_protocol_class(protocol_name)
+        arrivals_name, _ = parse_spec(self.arrivals)
+        get_arrival_class(arrivals_name)
+        build_channel(self.channel)
+        if self.arrivals_name != "batch" and self.engine not in ("auto", "slot"):
+            raise ValueError(
+                f"engine {self.engine!r} does not support arrival processes; "
+                "use engine='auto' or 'slot' with dynamic arrivals"
+            )
+
+    # ------------------------------------------------------------ components
+    @property
+    def protocol_name(self) -> str:
+        """Registry name of the protocol (spec string minus parameters)."""
+        return parse_spec(self.protocol)[0]
+
+    @property
+    def arrivals_name(self) -> str:
+        """Registry name of the arrival process."""
+        return parse_spec(self.arrivals)[0]
+
+    def build_protocol(self) -> Protocol:
+        """Instantiate the scenario's protocol for its network size."""
+        return build_protocol(self.protocol, self.k)
+
+    def build_arrivals(self) -> ArrivalProcess | None:
+        """Instantiate the arrival process (``None`` for static batch arrivals)."""
+        return build_arrivals(self.arrivals, self.k)
+
+    def build_channel(self) -> ChannelModel | None:
+        """Instantiate the channel (``None`` for the paper's default channel)."""
+        channel = build_channel(self.channel)
+        return None if channel == ChannelModel() else channel
+
+    def max_slots(self) -> int:
+        """The per-run slot cap: ``max_slots_factor * k``."""
+        return self.max_slots_factor * self.k
+
+    def seeds(self) -> list[int]:
+        """Per-replication seeds (prefix-stable in the replication count)."""
+        if self.seed_policy == "sequential":
+            return [self.seed + index for index in range(self.replications)]
+        return derive_seeds(self.seed, self.replications)
+
+    def replace(self, **changes: object) -> "Scenario":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    # -------------------------------------------------------------- identity
+    def identity(self) -> dict[str, object]:
+        """The content-hashed identity: every field except ``replications``.
+
+        Component specs are canonicalised (parameters sorted, no whitespace)
+        so cosmetic spelling differences do not split the cache.
+        """
+        return {
+            "protocol": canonical_spec(self.protocol),
+            "k": self.k,
+            "arrivals": canonical_spec(self.arrivals),
+            "channel": canonical_spec(self.channel),
+            "engine": self.engine,
+            "seed": self.seed,
+            "seed_policy": self.seed_policy,
+            "max_slots_factor": self.max_slots_factor,
+        }
+
+    def content_hash(self) -> str:
+        """Stable 16-hex-digit digest of :meth:`identity` (store key)."""
+        canonical = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Scenario":
+        """Build from a dict (e.g. a parsed JSON/TOML document).
+
+        ``reps`` is accepted as an alias for ``replications``; unknown keys
+        are rejected so typos fail loudly instead of silently running the
+        default.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs: dict[str, object] = {}
+        for key, value in data.items():
+            resolved = _KEY_ALIASES.get(key, key)
+            if resolved not in known:
+                raise ValueError(f"unknown scenario field {key!r}; known: {sorted(known)}")
+            if resolved in kwargs:
+                raise ValueError(f"duplicate scenario field {key!r}")
+            kwargs[resolved] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"scenario JSON must be an object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def to_toml(self) -> str:
+        """Render as a flat TOML document (readable back by :meth:`from_file`)."""
+        lines = []
+        for key, value in self.to_dict().items():
+            if isinstance(value, bool):
+                rendered = "true" if value else "false"
+            elif isinstance(value, (int, float)):
+                rendered = repr(value)
+            else:
+                rendered = json.dumps(str(value))
+            lines.append(f"{key} = {rendered}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_toml(cls, text: str) -> "Scenario":
+        import tomllib
+
+        return cls.from_dict(tomllib.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Scenario":
+        """Load a scenario from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix.lower() == ".toml":
+            return cls.from_toml(text)
+        if path.suffix.lower() == ".json":
+            return cls.from_json(text)
+        raise ValueError(f"unsupported scenario file type {path.suffix!r} (use .toml or .json)")
+
+    # -------------------------------------------------------- compact string
+    @classmethod
+    def parse(cls, text: str) -> "Scenario":
+        """Parse the compact string form (see module docstring)."""
+        tokens = split_top_level(text)
+        if not tokens:
+            raise SpecError("empty scenario string")
+        first = tokens[0]
+        if "=" in first.split("(", 1)[0]:
+            raise SpecError(
+                f"scenario string must start with a protocol spec, got {first!r}"
+            )
+        data: dict[str, object] = {"protocol": first}
+        for token in tokens[1:]:
+            if "=" not in token.split("(", 1)[0]:
+                raise SpecError(f"expected key=value token in scenario string, got {token!r}")
+            key, raw_value = token.split("=", 1)
+            if key in ("arrivals", "channel", "engine", "seed_policy"):
+                value: object = raw_value
+            else:
+                value = parse_value(raw_value)
+            if key not in _STRING_KEYS and _KEY_ALIASES.get(key) is None:
+                raise SpecError(
+                    f"unknown scenario key {key!r}; known: {sorted(set(_STRING_KEYS))}"
+                )
+            data[key] = value
+        if "k" not in data:
+            raise SpecError(f"scenario string {text!r} must set k=<network size>")
+        return cls.from_dict(data)
+
+    def format(self) -> str:
+        """Compact string form; omits fields left at their defaults."""
+        defaults = Scenario(protocol=self.protocol, k=self.k)
+        parts = [canonical_spec(self.protocol), f"k={self.k}"]
+        if self.replications != defaults.replications:
+            parts.append(f"reps={self.replications}")
+        if self.seed != defaults.seed:
+            parts.append(f"seed={self.seed}")
+        if self.arrivals != defaults.arrivals:
+            parts.append(f"arrivals={canonical_spec(self.arrivals)}")
+        if self.channel != defaults.channel:
+            parts.append(f"channel={canonical_spec(self.channel)}")
+        if self.engine != defaults.engine:
+            parts.append(f"engine={self.engine}")
+        if self.seed_policy != defaults.seed_policy:
+            parts.append(f"seed_policy={self.seed_policy}")
+        if self.max_slots_factor != defaults.max_slots_factor:
+            parts.append(f"max_slots_factor={self.max_slots_factor}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()

@@ -1,0 +1,335 @@
+"""The :class:`Session` service API: ``Session(store_dir).run(scenario)``.
+
+A session is the one spec-driven front door to every execution path in this
+repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
+
+1. content-hashes the scenario and, when backed by a store directory, loads
+   the replications already on record (re-running a completed scenario costs
+   **zero** new simulations);
+2. plans exactly the missing replications as
+   :class:`~repro.experiments.parallel.SimulationUnit` work units — one
+   vectorised :class:`~repro.engine.batch_engine.BatchFairEngine` unit per
+   batch-eligible cell, per-replication units otherwise;
+3. fans the units out over a
+   :class:`~repro.experiments.parallel.ParallelExecutor` (cells across
+   processes, replications vectorised within); and
+4. appends each fresh outcome to the JSONL store, so an interrupted sweep
+   resumes with only the missing cells executed.
+
+The sweep experiments (:func:`repro.experiments.runner.run_sweep`, Figure 1,
+Table 1, the dynamic extension) and the ``repro run`` CLI are all thin
+scenario-preset builders over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.statistics import RunStatistics, summarize_makespans
+from repro.engine.batch_engine import BatchFairEngine
+from repro.engine.result import SimulationResult
+from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.store import ResultStore, StoredRun
+
+__all__ = ["ResultSet", "Session", "SessionProgress"]
+
+#: Progress callback: (scenario index, scenario, replications done, total).
+#: Cached replications are reported immediately when planning starts, so
+#: ``done`` always reaches ``total`` whether the work was fresh or stored.
+SessionProgress = Callable[[int, Scenario, int, int], None]
+
+
+@dataclass(frozen=True)
+class _CellPlan:
+    """Resolved execution plan of one scenario under one session's settings."""
+
+    protocol: object
+    arrivals: object
+    channel: object
+    use_batch: bool
+    expected_engine: str  # name the produced SimulationResult.engine will carry
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """All replications of one scenario, with provenance.
+
+    ``results`` is ordered by replication index; ``cached_runs`` of them were
+    served from the store, ``new_runs`` were simulated by this call.
+    ``elapsed_seconds`` is the aggregate simulation time of *all* replications
+    (stored runs contribute their recorded duration), so it is comparable
+    across worker counts and across resumed sessions.
+    """
+
+    scenario: Scenario
+    scenario_hash: str
+    results: tuple[SimulationResult, ...]
+    seeds: tuple[int, ...]
+    new_runs: int
+    cached_runs: int
+    elapsed_seconds: float
+
+    @property
+    def engine_used(self) -> str:
+        """Engine name that produced the runs (they all share one)."""
+        return self.results[0].engine
+
+    @property
+    def solved_results(self) -> tuple[SimulationResult, ...]:
+        return tuple(result for result in self.results if result.solved)
+
+    @property
+    def all_solved(self) -> bool:
+        return len(self.solved_results) == len(self.results)
+
+    @property
+    def makespans(self) -> list[int]:
+        return [result.makespan for result in self.solved_results if result.makespan is not None]
+
+    def makespan_statistics(self) -> RunStatistics:
+        return summarize_makespans(self.makespans)
+
+    @property
+    def mean_makespan(self) -> float:
+        return self.makespan_statistics().mean
+
+    @property
+    def mean_ratio(self) -> float:
+        return summarize_makespans(
+            [makespan / self.scenario.k for makespan in self.makespans]
+        ).mean
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable summary (the ``repro run --json`` payload)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "scenario_string": self.scenario.format(),
+            "hash": self.scenario_hash,
+            "engine": self.engine_used,
+            "new_runs": self.new_runs,
+            "cached_runs": self.cached_runs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "seeds": list(self.seeds),
+            "solved_runs": len(self.solved_results),
+            "mean_makespan": self.mean_makespan if self.makespans else None,
+            "mean_steps_per_node": self.mean_ratio if self.makespans else None,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+class Session:
+    """Spec-driven execution service with an optional persistent result store.
+
+    Parameters
+    ----------
+    store_dir:
+        Directory of the JSONL result store.  ``None`` (default) runs
+        everything in memory — no persistence, no cache hits.
+    workers:
+        Worker processes for fan-out (``1`` = serial in-process, ``0``/
+        ``None`` = one per CPU).  Seeds travel with the scenarios, so the
+        worker count never changes the results.
+    batch:
+        Whether batch-eligible cells run as one vectorised engine call
+        (default True).  ``False`` replays the historical per-run streams.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        workers: int | None = 1,
+        batch: bool = True,
+    ) -> None:
+        self.store = ResultStore(store_dir) if store_dir is not None else None
+        self.workers = workers
+        self.batch = batch
+
+    # ----------------------------------------------------------------- public
+    def run(self, scenario: Scenario, progress: SessionProgress | None = None) -> ResultSet:
+        """Run one scenario (serving completed replications from the store)."""
+        return self.run_all([scenario], progress=progress)[0]
+
+    def run_all(
+        self,
+        scenarios: Sequence[Scenario],
+        progress: SessionProgress | None = None,
+    ) -> list[ResultSet]:
+        """Run many scenarios as one fan-out; returns result sets in order.
+
+        This is the sweep primitive: all missing replications across all
+        scenarios are planned up front and executed through a single
+        :class:`ParallelExecutor`, so cells fill every worker regardless of
+        which scenario they belong to.
+        """
+        if not scenarios:
+            return []
+        hashes = [scenario.content_hash() for scenario in scenarios]
+        all_seeds = [scenario.seeds() for scenario in scenarios]
+        plans = [self._plan(scenario) for scenario in scenarios]
+        cached: list[dict[int, StoredRun]] = []
+        for scenario, plan in zip(scenarios, plans):
+            stored = self.store.load(scenario) if self.store is not None else {}
+            # Serve only the replications this call asks for, and only runs
+            # produced by the engine this session would pick: the scenario
+            # hash deliberately ignores the batch/per-run sampling mode (both
+            # are valid samples of the cell), so a store written under the
+            # other mode is recomputed rather than mixed into one result set.
+            usable = {
+                replication: run
+                for replication, run in stored.items()
+                if replication < scenario.replications
+                and run.result.engine == plan.expected_engine
+            }
+            if plan.use_batch:
+                # A batch cell's results depend on the whole batch composition
+                # (one interleaved stream per BatchFairEngine call), so stored
+                # runs are reusable only when they come from a batch of
+                # exactly this replication count — anything else is
+                # recomputed in full so a resumed run is bit-identical to a
+                # fresh one.
+                usable = {
+                    replication: run
+                    for replication, run in usable.items()
+                    if run.result.metadata.get("batch_reps") == scenario.replications
+                }
+                if len(usable) != scenario.replications:
+                    usable = {}
+            cached.append(usable)
+
+        units: list[SimulationUnit] = []
+        done_count = [0] * len(scenarios)
+        for index, scenario in enumerate(scenarios):
+            missing = [
+                replication
+                for replication in range(scenario.replications)
+                if replication not in cached[index]
+            ]
+            done_count[index] = scenario.replications - len(missing)
+            if progress is not None:
+                for step in range(done_count[index]):
+                    progress(index, scenario, step + 1, scenario.replications)
+            if missing:
+                units.extend(
+                    self._plan_units(index, scenario, plans[index], all_seeds[index], missing)
+                )
+
+        # Outcomes are persisted as they complete (not after the whole
+        # fan-out), so a sweep killed mid-run keeps every finished unit on
+        # record and the next invocation resumes from there.
+        fresh: list[dict[int, StoredRun]] = [{} for _ in scenarios]
+
+        def unit_progress(outcome: UnitOutcome) -> None:
+            index, replications = outcome.tag
+            per_run_elapsed = outcome.elapsed_seconds / max(len(outcome.results), 1)
+            runs = [
+                StoredRun(
+                    replication=replication,
+                    seed=result.seed,
+                    elapsed_seconds=per_run_elapsed,
+                    result=result,
+                )
+                for replication, result in zip(replications, outcome.results)
+            ]
+            for run in runs:
+                fresh[index][run.replication] = run
+            if self.store is not None:
+                self.store.append(scenarios[index], runs)
+            if progress is not None:
+                for _ in runs:
+                    done_count[index] += 1
+                    progress(
+                        index,
+                        scenarios[index],
+                        done_count[index],
+                        scenarios[index].replications,
+                    )
+
+        ParallelExecutor(workers=self.workers).run(units, progress=unit_progress)
+
+        result_sets = []
+        for index, scenario in enumerate(scenarios):
+            runs = {**cached[index], **fresh[index]}
+            ordered = [runs[replication] for replication in range(scenario.replications)]
+            result_sets.append(
+                ResultSet(
+                    scenario=scenario,
+                    scenario_hash=hashes[index],
+                    results=tuple(run.result for run in ordered),
+                    seeds=tuple(all_seeds[index]),
+                    new_runs=len(fresh[index]),
+                    cached_runs=len(cached[index]),
+                    elapsed_seconds=sum(run.elapsed_seconds for run in ordered),
+                )
+            )
+        return result_sets
+
+    # --------------------------------------------------------------- planning
+    def _plan(self, scenario: Scenario) -> "_CellPlan":
+        """Resolve a scenario's components and the engine this session will use."""
+        from repro.engine.dispatch import pick_engine
+
+        protocol = scenario.build_protocol()
+        arrivals = scenario.build_arrivals()
+        channel = scenario.build_channel()
+        use_batch = (
+            (self.batch or scenario.engine == "batch")
+            and scenario.engine in ("auto", "batch")
+            and arrivals is None
+            and channel is None
+            and BatchFairEngine.supports(protocol)
+        )
+        if use_batch:
+            expected_engine = BatchFairEngine.name
+        else:
+            expected_engine = pick_engine(
+                protocol, engine=scenario.engine, channel=channel, arrivals=arrivals
+            ).name
+        return _CellPlan(
+            protocol=protocol,
+            arrivals=arrivals,
+            channel=channel,
+            use_batch=use_batch,
+            expected_engine=expected_engine,
+        )
+
+    def _plan_units(
+        self,
+        index: int,
+        scenario: Scenario,
+        plan: "_CellPlan",
+        seeds: Sequence[int],
+        missing: Sequence[int],
+    ) -> list[SimulationUnit]:
+        """Turn a scenario's missing replications into executor work units.
+
+        The unit ``tag`` is ``(scenario index, replication indices)`` so the
+        outcomes can be routed back and persisted per replication.
+        """
+        if plan.use_batch:
+            return [
+                SimulationUnit(
+                    protocol=plan.protocol,
+                    k=scenario.k,
+                    engine=scenario.engine,
+                    max_slots=scenario.max_slots(),
+                    tag=(index, tuple(missing)),
+                    seeds=tuple(seeds[replication] for replication in missing),
+                )
+            ]
+        return [
+            SimulationUnit(
+                protocol=plan.protocol,
+                k=scenario.k,
+                seed=seeds[replication],
+                engine=scenario.engine,
+                max_slots=scenario.max_slots(),
+                arrivals=plan.arrivals,
+                channel=plan.channel,
+                tag=(index, (replication,)),
+            )
+            for replication in missing
+        ]

@@ -1,0 +1,146 @@
+"""Persistent per-scenario result store: one JSONL file per scenario hash.
+
+The store is the durability layer behind
+:class:`~repro.scenarios.session.Session`.  Layout, under one root directory::
+
+    <root>/<content-hash>.jsonl
+
+Line 1 is a self-describing header carrying the scenario that produced the
+file; every further line records one completed replication (its index, seed,
+simulation time and full :class:`~repro.engine.result.SimulationResult`).
+Appending line-by-line makes interruption safe by construction: a run killed
+mid-sweep leaves complete lines for the replications that finished, and the
+next session re-executes only the missing ones.  A torn final line (the
+process died mid-write) is detected by the JSON parser and ignored.
+
+The file is keyed by :meth:`Scenario.content_hash`, which excludes the
+replication count — so raising ``replications`` later extends the same file
+instead of starting a new cell from scratch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.result import SimulationResult
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["StoredRun", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted replication of a scenario."""
+
+    replication: int
+    seed: int
+    elapsed_seconds: float
+    result: SimulationResult
+
+
+class ResultStore:
+    """Append-only JSONL store of per-replication outcomes, keyed by scenario hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario: Scenario) -> Path:
+        return self.root / f"{scenario.content_hash()}.jsonl"
+
+    def load(self, scenario: Scenario) -> dict[int, StoredRun]:
+        """Return the completed replications on record for ``scenario``.
+
+        Replications whose recorded seed disagrees with the scenario's seed
+        derivation are ignored (treated as missing) — that cannot happen
+        through this store's own writes, but it keeps a hand-edited or
+        corrupted file from silently poisoning a resumed sweep.
+        """
+        path = self.path_for(scenario)
+        if not path.exists():
+            return {}
+        expected_seeds = scenario.seeds()
+        runs: dict[int, StoredRun] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of an interrupted write
+                if record.get("kind") != "run":
+                    continue
+                replication = int(record["replication"])
+                seed = int(record["seed"])
+                if replication < len(expected_seeds) and seed != expected_seeds[replication]:
+                    continue
+                runs[replication] = StoredRun(
+                    replication=replication,
+                    seed=seed,
+                    elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                    result=SimulationResult.from_dict(record["result"]),
+                )
+        return runs
+
+    def append(self, scenario: Scenario, runs: list[StoredRun]) -> None:
+        """Persist newly completed replications (writing the header if new)."""
+        if not runs:
+            return
+        path = self.path_for(scenario)
+        lines = []
+        # Heal a torn tail: a process killed mid-write leaves the file without
+        # a trailing newline; appending straight onto it would glue the first
+        # new record to the partial line and corrupt both, forever.
+        needs_leading_newline = False
+        if path.exists() and path.stat().st_size > 0:
+            with path.open("rb") as handle:
+                handle.seek(-1, 2)
+                needs_leading_newline = handle.read(1) != b"\n"
+        if not path.exists():
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "scenario",
+                        "hash": scenario.content_hash(),
+                        "scenario": scenario.to_dict(),
+                    },
+                    sort_keys=True,
+                )
+            )
+        for run in sorted(runs, key=lambda run: run.replication):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "run",
+                        "replication": run.replication,
+                        "seed": run.seed,
+                        "elapsed_seconds": run.elapsed_seconds,
+                        "result": run.result.to_dict(),
+                    },
+                    sort_keys=True,
+                )
+            )
+        with path.open("a", encoding="utf-8") as handle:
+            if needs_leading_newline:
+                handle.write("\n")
+            handle.write("\n".join(lines) + "\n")
+
+    def scenarios_on_record(self) -> list[Scenario]:
+        """Return the scenarios whose stores exist under this root."""
+        scenarios = []
+        for path in sorted(self.root.glob("*.jsonl")):
+            with path.open("r", encoding="utf-8") as handle:
+                first = handle.readline().strip()
+            if not first:
+                continue
+            try:
+                record = json.loads(first)
+            except json.JSONDecodeError:
+                continue
+            if record.get("kind") == "scenario":
+                scenarios.append(Scenario.from_dict(record["scenario"]))
+        return scenarios

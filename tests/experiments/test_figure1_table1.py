@@ -113,3 +113,54 @@ class TestCommandLineEntryPoints:
         assert "Table 1" in captured
         assert (tmp_path / "table1_measured.md").exists()
         assert (tmp_path / "table1_comparison.md").exists()
+
+
+class TestSessionPathParity:
+    """The Session-routed sweep must reproduce the legacy factory path exactly."""
+
+    def legacy_suite(self):
+        """The paper suite expressed as factory-only specs (pre-scenario form)."""
+        from repro.experiments.config import ProtocolSpec
+        session_suite = paper_protocol_suite()
+        return [
+            ProtocolSpec(
+                key=spec.key,
+                label=spec.label,
+                factory=(lambda k, s=spec.spec: __import__("repro").build_protocol(s, k)),
+                analysis_ratio=spec.analysis_ratio,
+                analysis_note=spec.analysis_note,
+            )
+            for spec in session_suite
+        ]
+
+    def test_figure1_identical_through_session(self, tiny_config):
+        session_path = reproduce_figure1(config=tiny_config)
+        legacy_path = reproduce_figure1(config=tiny_config, specs=self.legacy_suite())
+        assert session_path.series == legacy_path.series
+
+    def test_table1_identical_through_session(self, tiny_config):
+        session_path = reproduce_table1(config=tiny_config)
+        legacy_path = reproduce_table1(config=tiny_config, specs=self.legacy_suite())
+        for spec in session_path.specs:
+            for k in tiny_config.k_values:
+                assert session_path.measured_ratio(spec.key, k) == legacy_path.measured_ratio(
+                    spec.key, k
+                )
+
+    def test_workers_and_batch_flags_still_honoured(self, tiny_config):
+        serial = reproduce_figure1(config=tiny_config)
+        parallel = reproduce_figure1(
+            config=ExperimentConfig(k_values=[10, 100], runs=2, seed=5, workers=2)
+        )
+        assert serial.series == parallel.series
+        per_run = reproduce_figure1(
+            config=ExperimentConfig(k_values=[10, 100], runs=2, seed=5, batch=False)
+        )
+        assert set(per_run.series) == set(serial.series)
+
+    def test_store_backed_figure1_identical(self, tiny_config, tmp_path):
+        stored = reproduce_figure1(config=tiny_config, store_dir=tmp_path)
+        resumed = reproduce_figure1(config=tiny_config, store_dir=tmp_path)
+        in_memory = reproduce_figure1(config=tiny_config)
+        assert stored.series == in_memory.series
+        assert resumed.series == in_memory.series

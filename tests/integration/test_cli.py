@@ -102,3 +102,97 @@ class TestOtherCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_spec_string_scenario(self, capsys):
+        assert main(["run", "one-fail-adaptive(delta=2.72) k=100 reps=2 seed=5"]) == 0
+        output = capsys.readouterr().out
+        assert "hash" in output
+        assert "new runs" in output
+        assert "mean makespan" in output
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["run", "one-fail-adaptive k=100 reps=2 seed=5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new_runs"] == 2
+        assert payload["cached_runs"] == 0
+        assert payload["engine"] == "batch"
+        assert len(payload["results"]) == 2
+        assert payload["hash"]
+
+    def test_store_reports_cache_hits_on_rerun(self, capsys, tmp_path):
+        import json
+
+        spec = "one-fail-adaptive k=80 reps=3 seed=9"
+        assert main(["run", spec, "--store", str(tmp_path), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["run", spec, "--store", str(tmp_path), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["new_runs"] == 3
+        assert second["new_runs"] == 0
+        assert second["cached_runs"] == 3
+        assert second["results"] == first["results"]
+
+    def test_toml_file_scenario(self, capsys, tmp_path):
+        from repro.scenarios import Scenario
+
+        scenario = Scenario.parse("exp-backon-backoff k=50 reps=2 seed=3")
+        path = tmp_path / "cell.toml"
+        path.write_text(scenario.to_toml(), encoding="utf-8")
+        assert main(["run", str(path)]) == 0
+        assert "exp-backon-backoff" in capsys.readouterr().out
+
+    def test_replication_and_seed_overrides(self, capsys):
+        import json
+
+        assert main(["run", "one-fail-adaptive k=60", "--reps", "4", "--seed", "11",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["replications"] == 4
+        assert payload["scenario"]["seed"] == 11
+
+    def test_unknown_protocol_is_clean_error(self, capsys):
+        assert main(["run", "not-a-protocol k=10"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_malformed_scenario_is_clean_error(self, capsys):
+        assert main(["run", "one-fail-adaptive k=10 nonsense=1"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unknown_arrivals_is_clean_error(self, capsys):
+        assert main(["simulate", "--k", "8", "--arrivals", "nope"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestMachineReadableSimulate:
+    def test_simulate_json_payload(self, capsys):
+        import json
+
+        assert main(["simulate", "--protocol", "one-fail-adaptive", "--k", "120",
+                     "--seed", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "fair"
+        assert payload["seed"] == 6
+        assert payload["makespan"] >= 120
+        assert payload["scenario_hash"]
+        assert payload["scenario"].startswith("one-fail-adaptive")
+
+    def test_simulate_accepts_arrival_spec_string(self, capsys):
+        assert main(["simulate", "--protocol", "one-fail-adaptive", "--k", "16",
+                     "--arrivals", "poisson(rate=0.2)"]) == 0
+        assert "PoissonArrival" in capsys.readouterr().out
+
+    def test_engine_choices_track_registry(self):
+        from repro.engine.dispatch import available_engines
+
+        parser = build_parser()
+        sim_parser = next(
+            action for action in parser._subparsers._group_actions
+        ).choices["simulate"]
+        engine_action = next(
+            action for action in sim_parser._actions if action.dest == "engine"
+        )
+        assert list(engine_action.choices) == available_engines()

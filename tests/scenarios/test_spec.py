@@ -1,0 +1,86 @@
+"""Tests for the spec-string grammar shared by all registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.spec import (
+    SpecError,
+    canonical_spec,
+    format_spec,
+    parse_spec,
+    split_top_level,
+)
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("one-fail-adaptive") == ("one-fail-adaptive", {})
+
+    def test_empty_parens(self):
+        assert parse_spec("one-fail-adaptive()") == ("one-fail-adaptive", {})
+
+    def test_typed_values(self):
+        name, params = parse_spec("proto(a=1, b=2.5, c=true, d=false, e=text)")
+        assert name == "proto"
+        assert params == {"a": 1, "b": 2.5, "c": True, "d": False, "e": "text"}
+        assert isinstance(params["a"], int) and not isinstance(params["a"], bool)
+
+    def test_quoted_string_value(self):
+        assert parse_spec('p(s="hello world")')[1] == {"s": "hello world"}
+
+    def test_scientific_float(self):
+        assert parse_spec("p(eps=1e-3)")[1] == {"eps": 0.001}
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "p(", "p(a)", "p(a=1,,b=2)", "p(a=1", "(a=1)", "p(1x=2)", "p(a=1,a=2)", "9p"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+
+class TestFormatSpec:
+    def test_bare(self):
+        assert format_spec("aloha") == "aloha"
+        assert format_spec("aloha", {}) == "aloha"
+
+    def test_sorted_params(self):
+        assert format_spec("p", {"b": 2, "a": 1}) == "p(a=1,b=2)"
+
+    def test_round_trip(self):
+        for spec in [
+            "one-fail-adaptive(delta=2.72)",
+            "log-fails-adaptive(xi_beta=0.1,xi_delta=0.1,xi_t=0.5)",
+            "bursty(bursts=4,gap=100)",
+            "p(flag=true)",
+        ]:
+            assert format_spec(*parse_spec(spec)) == spec
+
+    def test_quoted_values_with_delimiters_round_trip(self):
+        for value in ["a,b", "a b", "has(parens)", "x=y", 'double"quote', "single'quote"]:
+            rendered = format_spec("p", {"s": value})
+            assert parse_spec(rendered) == ("p", {"s": value})
+
+    def test_mixed_quotes_rejected(self):
+        with pytest.raises(SpecError):
+            format_spec("p", {"s": "both\"'quotes"})
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec('p(s="open)')
+
+    def test_canonical_spec_normalises(self):
+        assert canonical_spec("p( b = 2 , a = 1 )") == "p(a=1,b=2)"
+        assert canonical_spec("p()") == "p"
+
+
+class TestSplitTopLevel:
+    def test_ignores_whitespace_inside_parens(self):
+        tokens = split_top_level("ofa k=10 arrivals=bursty(bursts=2, gap=9)")
+        assert tokens == ["ofa", "k=10", "arrivals=bursty(bursts=2, gap=9)"]
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(SpecError):
+            split_top_level("ofa k=10 arrivals=bursty(bursts=2")
