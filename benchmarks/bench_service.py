@@ -1,0 +1,112 @@
+"""Benchmark: simulation-service submission throughput, cached vs fresh.
+
+The service promise is that repeated scenarios are *cheap*: a submission
+whose replications are all on record in the result store is answered
+synchronously — full HTTP round-trip, zero new simulations.  This benchmark
+boots a real :class:`~repro.service.server.ReproServer` on an ephemeral port
+and measures end-to-end submissions/sec through
+:class:`~repro.service.client.ServiceClient` for
+
+* **cached** submissions — one scenario submitted repeatedly after its first
+  completion (store-served; the ≥100 req/s floor is asserted), and
+* **fresh** submissions — distinct small scenarios, each submitted and
+  awaited (queue + simulation + store write on every request),
+
+and writes both trajectories to ``benchmark_results/BENCH_service.json``.
+The smoke-marked subset (run by ``scripts/bench_smoke.sh``) checks the
+round-trip semantics — fresh run, cached resubmission with zero new
+simulations — without timing assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.service import create_server
+from repro.service.client import ServiceClient
+
+#: Artifact name fixed by the acceptance criteria of the service issue.
+ARTIFACT_NAME = "BENCH_service.json"
+
+CACHED_SPEC = "one-fail-adaptive k=64 reps=3 seed=2011"
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A serving (server, client) pair over a fresh store directory."""
+    server = create_server(port=0, store_dir=tmp_path / "store", quiet=True)
+    server.start_background()
+    client = ServiceClient(server.url, timeout=60.0)
+    yield server, client
+    server.close()
+
+
+def _measure_cached(client: ServiceClient, requests: int) -> float:
+    """Seconds for ``requests`` cached submissions of one stored scenario."""
+    status = client.submit(CACHED_SPEC)
+    client.wait(status.id, timeout=60.0)
+    started = time.perf_counter()
+    for _ in range(requests):
+        status = client.submit(CACHED_SPEC)
+        assert status.cached, "benchmark invariant: submission must be store-served"
+    return time.perf_counter() - started
+
+
+def _measure_fresh(client: ServiceClient, requests: int) -> float:
+    """Seconds for ``requests`` distinct submit+wait round-trips."""
+    started = time.perf_counter()
+    for seed in range(requests):
+        status = client.submit(f"one-fail-adaptive k=16 reps=1 seed={7000 + seed}")
+        status = client.wait(status.id, timeout=60.0)
+        assert status.state == "done"
+    return time.perf_counter() - started
+
+
+@pytest.mark.smoke
+def test_service_round_trip_smoke(service):
+    """Fresh submission completes; resubmission is cached with 0 new sims."""
+    _server, client = service
+    first = client.submit(CACHED_SPEC)
+    first = client.wait(first.id, timeout=60.0)
+    assert first.state == "done"
+    second = client.submit(CACHED_SPEC)
+    assert second.cached
+    payload = client.result(second.hash)
+    assert payload["new_runs"] == 0
+    assert payload["cached_runs"] == 3
+
+
+def test_service_throughput(service, results_dir):
+    """Measure cached vs fresh submissions/sec; assert the cached floor."""
+    _server, client = service
+    cached_requests = 300
+    fresh_requests = 30
+    cached_seconds = _measure_cached(client, cached_requests)
+    fresh_seconds = _measure_fresh(client, fresh_requests)
+    cached_rate = cached_requests / cached_seconds
+    fresh_rate = fresh_requests / fresh_seconds
+    artifact = {
+        "benchmark": "service submission throughput",
+        "scenario": CACHED_SPEC,
+        "cached": {
+            "requests": cached_requests,
+            "seconds": cached_seconds,
+            "requests_per_sec": cached_rate,
+        },
+        "fresh": {
+            "requests": fresh_requests,
+            "seconds": fresh_seconds,
+            "requests_per_sec": fresh_rate,
+        },
+        "cached_over_fresh": cached_rate / fresh_rate,
+    }
+    path = results_dir / ARTIFACT_NAME
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\ncached: {cached_rate:.0f} req/s   fresh: {fresh_rate:.0f} req/s   -> {path}")
+    assert cached_rate >= 100.0, (
+        f"cached submissions must sustain >= 100 req/s, measured {cached_rate:.0f}"
+    )

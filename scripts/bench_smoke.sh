@@ -16,7 +16,13 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -m sm
 # First invocation populates the store; the second must report 0 new
 # simulations (every replication served from the JSONL store).
 STORE_DIR="$(mktemp -d)"
-trap 'rm -rf "$STORE_DIR"' EXIT
+SERVICE_STORE_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$STORE_DIR" "$SERVICE_STORE_DIR"
+}
+trap cleanup EXIT
 SCENARIO="one-fail-adaptive(delta=2.72) k=256 reps=5 seed=2011"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run "$SCENARIO" \
     --store "$STORE_DIR" --json > /dev/null
@@ -28,5 +34,44 @@ payload = json.load(sys.stdin)
 assert payload["new_runs"] == 0, f"expected 0 new runs on re-run, got {payload}"
 assert payload["cached_runs"] == 5, f"expected 5 cached runs, got {payload}"
 print("session-store smoke ok: re-run served %d cached runs, %d new simulations"
+      % (payload["cached_runs"], payload["new_runs"]))
+'
+
+# --- Simulation-service smoke ------------------------------------------------
+# Boot `repro serve` on a free port, submit a fresh scenario end-to-end, then
+# resubmit it: the second submission must report cached=true with 0 new
+# simulations (served straight from the server's result store).
+PORT="$(python -c 'import socket
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()')"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro serve \
+    --port "$PORT" --store "$SERVICE_STORE_DIR" --quiet &
+SERVER_PID=$!
+URL="http://127.0.0.1:$PORT"
+python -c "
+import time, urllib.request
+for _ in range(100):
+    try:
+        urllib.request.urlopen('$URL/healthz', timeout=1).read()
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    raise SystemExit('repro serve did not come up on $URL')
+"
+SERVICE_SCENARIO="one-fail-adaptive(delta=2.72) k=128 reps=4 seed=2011"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro submit "$SERVICE_SCENARIO" \
+    --url "$URL" --json > /dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro submit "$SERVICE_SCENARIO" \
+    --url "$URL" --json \
+  | python -c '
+import json, sys
+payload = json.load(sys.stdin)
+assert payload["cached"] is True, f"expected cached resubmission, got {payload}"
+assert payload["new_runs"] == 0, f"expected 0 new runs on resubmit, got {payload}"
+assert payload["cached_runs"] == 4, f"expected 4 cached runs, got {payload}"
+print("service smoke ok: cached resubmission served %d runs, %d new simulations"
       % (payload["cached_runs"], payload["new_runs"]))
 '

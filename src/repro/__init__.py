@@ -17,9 +17,12 @@ The library provides:
   the rest of the monotone back-off family of reference [2];
 * the channel substrate (:mod:`repro.channel`) and three cross-validated
   simulation engines (:mod:`repro.engine`);
-* the analysis toolkit (:mod:`repro.analysis`, :mod:`repro.core.analysis`); and
+* the analysis toolkit (:mod:`repro.analysis`, :mod:`repro.core.analysis`);
 * the experiment harness regenerating Figure 1 and Table 1
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`); and
+* the simulation service (:mod:`repro.service`) — ``repro serve`` — exposing
+  the scenario front door over HTTP with a dedup'ing job queue and a
+  persistent result store.
 
 Quickstart::
 
@@ -76,8 +79,9 @@ from repro.protocols import (
     get_protocol_class,
 )
 from repro.scenarios import ResultSet, ResultStore, Scenario, Session
+from repro.service import ServiceClient, ServiceError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -123,6 +127,9 @@ __all__ = [
     "Session",
     "ResultSet",
     "ResultStore",
+    # simulation service
+    "ServiceClient",
+    "ServiceError",
     # analysis & experiments
     "paper_analysis",
     "ExperimentConfig",

@@ -11,6 +11,13 @@ Subcommands:
   :class:`~repro.scenarios.session.Session`, optionally backed by a
   persistent ``--store`` directory that serves completed replications on
   re-run;
+* ``serve``     — run the simulation service (:mod:`repro.service`): a
+  threaded HTTP/JSON server with a dedup'ing FIFO job queue over one shared
+  session;
+* ``submit``    — submit a scenario to a running service (``--url``) instead
+  of simulating locally; waits for completion and prints the result;
+* ``store``     — list a result-store directory (scenario, hash,
+  replications on record, solved fraction);
 * ``figure1``   — reproduce Figure 1 (delegates to
   :mod:`repro.experiments.figure1`);
 * ``table1``    — reproduce Table 1 (delegates to
@@ -181,24 +188,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.solved else 1
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _load_scenario(args: argparse.Namespace) -> Scenario:
+    """Resolve the scenario argument shared by ``run`` and ``submit``.
+
+    The positional is a compact spec string or a ``.toml``/``.json`` file
+    path; ``--replications``/``--seed`` override the loaded values.
+    """
     text = args.scenario
     path = Path(text)
+    if path.suffix.lower() in (".toml", ".json") or path.is_file():
+        scenario = Scenario.from_file(path)
+    else:
+        scenario = Scenario.parse(text)
+    overrides: dict[str, object] = {}
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.replace(**overrides)
+    return scenario
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     # `run` is a new subcommand with no legacy error contract, so every
     # scenario-level failure — bad spec, unknown registry name, missing file,
     # invalid parameter — reports as a one-line CLI error, not a traceback.
     try:
-        if path.suffix.lower() in (".toml", ".json") or path.is_file():
-            scenario = Scenario.from_file(path)
-        else:
-            scenario = Scenario.parse(text)
-        overrides: dict[str, object] = {}
-        if args.replications is not None:
-            overrides["replications"] = args.replications
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        if overrides:
-            scenario = scenario.replace(**overrides)
+        scenario = _load_scenario(args)
         session = Session(store_dir=args.store, workers=args.workers, batch=args.batch)
         result_set = session.run(scenario)
     except (SpecError, KeyError, ValueError, OSError) as error:
@@ -208,6 +225,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         _print_result_set(result_set)
     return 0 if result_set.all_solved else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            store_dir=args.store,
+            workers=args.workers,
+            job_workers=args.job_workers,
+            batch=args.batch,
+            quiet=args.quiet,
+        )
+    except OSError as error:  # e.g. port already in use, privileged port
+        return _scenario_error(error)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.wire import JOB_FAILED
+
+    try:
+        scenario = _load_scenario(args)
+    except (SpecError, KeyError, ValueError, OSError) as error:
+        return _scenario_error(error)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        status = client.submit(scenario)
+        # The disposition flags are per-submission, not per-job: a later
+        # status poll never carries them, so capture them now.
+        cached, deduplicated = status.cached, status.deduplicated
+        if not args.wait:
+            payload = {
+                "job_id": status.id,
+                "hash": status.hash,
+                "state": status.state,
+                "cached": cached,
+                "deduplicated": deduplicated,
+            }
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                rows = [[key, value] for key, value in payload.items()]
+                print(format_text_table(["field", "value"], rows))
+            return 0
+        if not status.finished:
+            status = client.wait(status.id, timeout=args.timeout)
+        if status.state == JOB_FAILED:
+            print(f"repro: job {status.id} failed: {status.error}", file=sys.stderr)
+            return 1
+        payload = client.result(status.hash)
+    except ServiceError as error:
+        print(f"repro: service error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload["cached"] = cached
+        payload["deduplicated"] = deduplicated
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["scenario", payload["scenario_string"]],
+            ["hash", payload["hash"]],
+            ["job", f"{status.id} ({'cached' if cached else status.state})"],
+            ["engine", payload["engine"]],
+            ["new runs", payload["new_runs"]],
+            ["cached runs", payload["cached_runs"]],
+            ["solved", f"{payload['solved_runs']}/{len(payload['results'])}"],
+        ]
+        if payload.get("mean_makespan") is not None:
+            rows.append(["mean makespan (slots)", f"{payload['mean_makespan']:.1f}"])
+            rows.append(["mean steps per node", f"{payload['mean_steps_per_node']:.3f}"])
+        rows.append(["elapsed (s)", f"{payload['elapsed_seconds']:.3f}"])
+        print(format_text_table(["metric", "value"], rows))
+    return 0 if payload["solved_runs"] == len(payload["results"]) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.scenarios.store import ResultStore
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"repro: error: store directory {root} does not exist", file=sys.stderr)
+        return 2
+    records = ResultStore(root).summaries()
+    if args.json:
+        print(json.dumps([record.to_dict() for record in records], indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"store {root}: no scenarios on record")
+        return 0
+    rows = [
+        [
+            record.hash,
+            record.scenario.format(),
+            f"{record.replications_on_record}/{record.scenario.replications}",
+            f"{record.solved_runs} ({record.solved_fraction:.0%})",
+        ]
+        for record in records
+    ]
+    print(format_text_table(["hash", "scenario", "reps on record", "solved"], rows))
+    return 0
 
 
 def _cmd_protocols(_: argparse.Namespace) -> int:
@@ -296,6 +416,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true", help="print the machine-readable result set")
     run.set_defaults(func=_cmd_run)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation service (threaded HTTP server + job queue)",
+        description="Run the always-on simulation service: POST /scenarios to submit, "
+        "GET /jobs/<id> for progress, GET /results/<hash> for completed payloads, "
+        "GET /store for the store listing, GET /healthz for liveness.  With --store, "
+        "completed scenarios are persisted and repeat submissions are answered "
+        "synchronously from the store (cached: true, zero new simulations).",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="listen port (0 = ephemeral)")
+    serve.add_argument("--store", type=Path, default=None, help="persistent result-store directory")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation worker processes per job (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1, help="concurrently executing jobs (FIFO start order)"
+    )
+    serve.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="vectorise batch-eligible cells (--no-batch replays per-run streams)",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a scenario to a running service instead of simulating locally",
+        description="Submit a scenario (compact spec string or .toml/.json file) to a "
+        "repro service and print the result.  Identical concurrent submissions attach "
+        "to one in-flight job; scenarios already on the server's store are answered "
+        "without simulating.",
+    )
+    submit.add_argument("scenario", help="scenario spec string or path to a .toml/.json file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL (repro serve)"
+    )
+    submit.add_argument(
+        "--replications", "--reps", type=int, default=None, help="override the replication count"
+    )
+    submit.add_argument("--seed", type=int, default=None, help="override the root seed")
+    submit.add_argument(
+        "--wait",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="wait for completion and print the result (--no-wait prints the job id)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="seconds to wait for completion"
+    )
+    submit.add_argument("--json", action="store_true", help="print the machine-readable payload")
+    submit.set_defaults(func=_cmd_submit)
+
+    store = subparsers.add_parser(
+        "store",
+        help="list a result-store directory (scenario, hash, runs on record)",
+        description="List the scenarios on record in a result-store directory, with "
+        "their content hashes, replications on record and solved fractions.",
+    )
+    store.add_argument("directory", help="result-store directory (as passed to --store)")
+    store.add_argument("--json", action="store_true", help="print machine-readable records")
+    store.set_defaults(func=_cmd_store)
 
     protocols = subparsers.add_parser("protocols", help="list registered protocols")
     protocols.set_defaults(func=_cmd_protocols)

@@ -25,7 +25,7 @@ simulations — every replication is served from the JSONL store.
 from repro.scenarios.scenario import SEED_POLICIES, Scenario
 from repro.scenarios.session import ResultSet, Session, SessionProgress
 from repro.scenarios.spec import SpecError, canonical_spec, format_spec, parse_spec
-from repro.scenarios.store import ResultStore, StoredRun
+from repro.scenarios.store import ResultStore, StoredRun, StoreRecord
 
 __all__ = [
     "Scenario",
@@ -35,6 +35,7 @@ __all__ = [
     "ResultSet",
     "ResultStore",
     "StoredRun",
+    "StoreRecord",
     "SpecError",
     "parse_spec",
     "format_spec",

@@ -245,7 +245,10 @@ class Scenario:
 
     @classmethod
     def from_toml(cls, text: str) -> "Scenario":
-        import tomllib
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # stdlib tomllib is 3.11+; 3.10 uses tomli
+            import tomli as tomllib  # type: ignore[no-redef]
 
         return cls.from_dict(tomllib.loads(text))
 

@@ -18,11 +18,24 @@ repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
 
 The sweep experiments (:func:`repro.experiments.runner.run_sweep`, Figure 1,
 Table 1, the dynamic extension) and the ``repro run`` CLI are all thin
-scenario-preset builders over this class.
+scenario-preset builders over this class, and the simulation service
+(:mod:`repro.service`) shares **one** session across its worker threads.
+
+Thread-safety
+-------------
+A session may be shared by concurrent callers (the service's job-queue
+workers each call :meth:`Session.run` on the same instance): store reads and
+writes are serialised by an internal lock on top of the store's own advisory
+file locking, and all remaining per-call state is local to ``run_all``.
+Progress callbacks fire on whichever thread executes the session call — a
+worker callback context, not necessarily the main thread — so
+:data:`SessionProgress` implementations must themselves be thread-safe when
+one callback object observes several sessions or jobs.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -40,6 +53,10 @@ __all__ = ["ResultSet", "Session", "SessionProgress"]
 #: Progress callback: (scenario index, scenario, replications done, total).
 #: Cached replications are reported immediately when planning starts, so
 #: ``done`` always reaches ``total`` whether the work was fresh or stored.
+#: Invocations happen in *worker callback context*: the thread that called
+#: :meth:`Session.run`/:meth:`Session.run_all` (which, under the simulation
+#: service, is a job-queue worker thread) — never concurrently for one call,
+#: but not necessarily the main thread.
 SessionProgress = Callable[[int, Scenario, int, int], None]
 
 
@@ -147,11 +164,54 @@ class Session:
         self.store = ResultStore(store_dir) if store_dir is not None else None
         self.workers = workers
         self.batch = batch
+        # Serialises this session's store access so one Session instance can
+        # be shared by concurrent callers (e.g. service worker threads).
+        self._store_lock = threading.Lock()
 
     # ----------------------------------------------------------------- public
     def run(self, scenario: Scenario, progress: SessionProgress | None = None) -> ResultSet:
         """Run one scenario (serving completed replications from the store)."""
         return self.run_all([scenario], progress=progress)[0]
+
+    def cached_count(self, scenario: Scenario) -> int:
+        """How many of the scenario's replications this session would serve
+        from its store without simulating (0 for store-less sessions).
+
+        A scenario is fully cached — ``cached_count(s) == s.replications`` —
+        exactly when :meth:`run` would report ``new_runs == 0``; the
+        simulation service uses this to answer repeat submissions
+        synchronously instead of queueing them.
+        """
+        if self.store is None:
+            return 0
+        return len(self._usable_cached(scenario, self._plan(scenario)))
+
+    def is_cached(self, scenario: Scenario) -> bool:
+        """Whether :meth:`run` would perform zero new simulations."""
+        return self.cached_count(scenario) == scenario.replications
+
+    def run_cached(self, scenario: Scenario) -> ResultSet | None:
+        """Serve a scenario entirely from the store, or ``None`` on any miss.
+
+        One store read total — unlike ``is_cached(s) and run(s)``, which
+        loads the file twice.  This is the service's cached fast path, so a
+        repeat submission costs a single JSONL parse and zero simulations.
+        """
+        if self.store is None:
+            return None
+        usable = self._usable_cached(scenario, self._plan(scenario))
+        if len(usable) != scenario.replications:
+            return None
+        ordered = [usable[replication] for replication in range(scenario.replications)]
+        return ResultSet(
+            scenario=scenario,
+            scenario_hash=scenario.content_hash(),
+            results=tuple(run.result for run in ordered),
+            seeds=tuple(scenario.seeds()),
+            new_runs=0,
+            cached_runs=len(ordered),
+            elapsed_seconds=sum(run.elapsed_seconds for run in ordered),
+        )
 
     def run_all(
         self,
@@ -170,35 +230,9 @@ class Session:
         hashes = [scenario.content_hash() for scenario in scenarios]
         all_seeds = [scenario.seeds() for scenario in scenarios]
         plans = [self._plan(scenario) for scenario in scenarios]
-        cached: list[dict[int, StoredRun]] = []
-        for scenario, plan in zip(scenarios, plans):
-            stored = self.store.load(scenario) if self.store is not None else {}
-            # Serve only the replications this call asks for, and only runs
-            # produced by the engine this session would pick: the scenario
-            # hash deliberately ignores the batch/per-run sampling mode (both
-            # are valid samples of the cell), so a store written under the
-            # other mode is recomputed rather than mixed into one result set.
-            usable = {
-                replication: run
-                for replication, run in stored.items()
-                if replication < scenario.replications
-                and run.result.engine == plan.expected_engine
-            }
-            if plan.use_batch:
-                # A batch cell's results depend on the whole batch composition
-                # (one interleaved stream per BatchFairEngine call), so stored
-                # runs are reusable only when they come from a batch of
-                # exactly this replication count — anything else is
-                # recomputed in full so a resumed run is bit-identical to a
-                # fresh one.
-                usable = {
-                    replication: run
-                    for replication, run in usable.items()
-                    if run.result.metadata.get("batch_reps") == scenario.replications
-                }
-                if len(usable) != scenario.replications:
-                    usable = {}
-            cached.append(usable)
+        cached = [
+            self._usable_cached(scenario, plan) for scenario, plan in zip(scenarios, plans)
+        ]
 
         units: list[SimulationUnit] = []
         done_count = [0] * len(scenarios)
@@ -237,7 +271,8 @@ class Session:
             for run in runs:
                 fresh[index][run.replication] = run
             if self.store is not None:
-                self.store.append(scenarios[index], runs)
+                with self._store_lock:
+                    self.store.append(scenarios[index], runs)
             if progress is not None:
                 for _ in runs:
                     done_count[index] += 1
@@ -268,6 +303,40 @@ class Session:
         return result_sets
 
     # --------------------------------------------------------------- planning
+    def _usable_cached(self, scenario: Scenario, plan: "_CellPlan") -> dict[int, StoredRun]:
+        """The stored replications this session may serve for ``scenario``.
+
+        Serves only the replications this call asks for, and only runs
+        produced by the engine this session would pick: the scenario hash
+        deliberately ignores the batch/per-run sampling mode (both are valid
+        samples of the cell), so a store written under the other mode is
+        recomputed rather than mixed into one result set.
+        """
+        if self.store is None:
+            return {}
+        with self._store_lock:
+            stored = self.store.load(scenario)
+        usable = {
+            replication: run
+            for replication, run in stored.items()
+            if replication < scenario.replications
+            and run.result.engine == plan.expected_engine
+        }
+        if plan.use_batch:
+            # A batch cell's results depend on the whole batch composition
+            # (one interleaved stream per BatchFairEngine call), so stored
+            # runs are reusable only when they come from a batch of exactly
+            # this replication count — anything else is recomputed in full so
+            # a resumed run is bit-identical to a fresh one.
+            usable = {
+                replication: run
+                for replication, run in usable.items()
+                if run.result.metadata.get("batch_reps") == scenario.replications
+            }
+            if len(usable) != scenario.replications:
+                usable = {}
+        return usable
+
     def _plan(self, scenario: Scenario) -> "_CellPlan":
         """Resolve a scenario's components and the engine this session will use."""
         from repro.engine.dispatch import pick_engine

@@ -16,18 +16,44 @@ process died mid-write) is detected by the JSON parser and ignored.
 The file is keyed by :meth:`Scenario.content_hash`, which excludes the
 replication count — so raising ``replications`` later extends the same file
 instead of starting a new cell from scratch.
+
+Concurrency
+-----------
+:meth:`ResultStore.append` is safe under concurrent writers.  Each append
+takes an ``fcntl``-based advisory lock on a per-hash sidecar file
+(``<content-hash>.jsonl.lock``) for the whole read-tail/heal/write critical
+section, so two processes — or two server worker threads, since ``flock``
+locks attach to the open file description, not the process — cannot
+interleave torn lines or both decide to write the header.  The header itself
+is written atomically with the first batch of runs in a single ``write``
+call, under the lock, after re-checking that the file is still empty.  On
+platforms without ``fcntl`` (Windows) the store degrades to an in-process
+:class:`threading.Lock`, which still serialises all writers within one
+interpreter (the simulation service's deployment shape).
 """
 
 from __future__ import annotations
 
 import json
+import re
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.engine.result import SimulationResult
 from repro.scenarios.scenario import Scenario
 
-__all__ = ["StoredRun", "ResultStore"]
+__all__ = ["StoredRun", "StoreRecord", "ResultStore"]
+
+#: Shape of :meth:`Scenario.content_hash` digests (16 lowercase hex digits).
+_HASH_RE = re.compile(r"[0-9a-f]{16}")
 
 
 @dataclass(frozen=True)
@@ -40,15 +66,59 @@ class StoredRun:
     result: SimulationResult
 
 
+@dataclass(frozen=True)
+class StoreRecord:
+    """Summary of one scenario's file on record (the ``repro store`` listing)."""
+
+    scenario: Scenario
+    hash: str
+    replications_on_record: int
+    solved_runs: int
+
+    @property
+    def solved_fraction(self) -> float:
+        if self.replications_on_record == 0:
+            return 0.0
+        return self.solved_runs / self.replications_on_record
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario.format(),
+            "hash": self.hash,
+            "replications_on_record": self.replications_on_record,
+            "requested_replications": self.scenario.replications,
+            "solved_runs": self.solved_runs,
+            "solved_fraction": self.solved_fraction,
+        }
+
+
 class ResultStore:
     """Append-only JSONL store of per-replication outcomes, keyed by scenario hash."""
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serialises writers within this process even where fcntl is missing;
+        # cheap enough to hold across the flock on POSIX too.
+        self._write_lock = threading.Lock()
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.content_hash()}.jsonl"
+
+    @contextmanager
+    def _locked(self, path: Path) -> Iterator[None]:
+        """Hold the advisory per-hash write lock (see module docstring)."""
+        with self._write_lock:
+            if fcntl is None:
+                yield
+                return
+            lock_path = path.with_name(path.name + ".lock")
+            with lock_path.open("a") as lock_handle:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
 
     def load(self, scenario: Scenario) -> dict[int, StoredRun]:
         """Return the completed replications on record for ``scenario``.
@@ -87,60 +157,107 @@ class ResultStore:
         return runs
 
     def append(self, scenario: Scenario, runs: list[StoredRun]) -> None:
-        """Persist newly completed replications (writing the header if new)."""
+        """Persist newly completed replications (writing the header if new).
+
+        The whole operation — tail inspection, torn-line healing, header
+        decision and the write itself — runs under the per-hash advisory
+        lock, and all lines of one call are emitted by a single ``write``,
+        so concurrent appenders serialise cleanly instead of interleaving.
+        """
         if not runs:
             return
         path = self.path_for(scenario)
-        lines = []
-        # Heal a torn tail: a process killed mid-write leaves the file without
-        # a trailing newline; appending straight onto it would glue the first
-        # new record to the partial line and corrupt both, forever.
-        needs_leading_newline = False
-        if path.exists() and path.stat().st_size > 0:
-            with path.open("rb") as handle:
-                handle.seek(-1, 2)
-                needs_leading_newline = handle.read(1) != b"\n"
-        if not path.exists():
-            lines.append(
-                json.dumps(
-                    {
-                        "kind": "scenario",
-                        "hash": scenario.content_hash(),
-                        "scenario": scenario.to_dict(),
-                    },
-                    sort_keys=True,
+        with self._locked(path):
+            lines = []
+            # Heal a torn tail: a process killed mid-write leaves the file
+            # without a trailing newline; appending straight onto it would
+            # glue the first new record to the partial line and corrupt both,
+            # forever.
+            needs_leading_newline = False
+            is_new_file = not path.exists() or path.stat().st_size == 0
+            if not is_new_file:
+                with path.open("rb") as handle:
+                    handle.seek(-1, 2)
+                    needs_leading_newline = handle.read(1) != b"\n"
+            if is_new_file:
+                lines.append(
+                    json.dumps(
+                        {
+                            "kind": "scenario",
+                            "hash": scenario.content_hash(),
+                            "scenario": scenario.to_dict(),
+                        },
+                        sort_keys=True,
+                    )
                 )
-            )
-        for run in sorted(runs, key=lambda run: run.replication):
-            lines.append(
-                json.dumps(
-                    {
-                        "kind": "run",
-                        "replication": run.replication,
-                        "seed": run.seed,
-                        "elapsed_seconds": run.elapsed_seconds,
-                        "result": run.result.to_dict(),
-                    },
-                    sort_keys=True,
+            for run in sorted(runs, key=lambda run: run.replication):
+                lines.append(
+                    json.dumps(
+                        {
+                            "kind": "run",
+                            "replication": run.replication,
+                            "seed": run.seed,
+                            "elapsed_seconds": run.elapsed_seconds,
+                            "result": run.result.to_dict(),
+                        },
+                        sort_keys=True,
+                    )
                 )
-            )
-        with path.open("a", encoding="utf-8") as handle:
-            if needs_leading_newline:
-                handle.write("\n")
-            handle.write("\n".join(lines) + "\n")
+            with path.open("a", encoding="utf-8") as handle:
+                payload = "\n".join(lines) + "\n"
+                if needs_leading_newline:
+                    payload = "\n" + payload
+                handle.write(payload)
 
     def scenarios_on_record(self) -> list[Scenario]:
         """Return the scenarios whose stores exist under this root."""
         scenarios = []
         for path in sorted(self.root.glob("*.jsonl")):
-            with path.open("r", encoding="utf-8") as handle:
-                first = handle.readline().strip()
-            if not first:
-                continue
-            try:
-                record = json.loads(first)
-            except json.JSONDecodeError:
-                continue
-            if record.get("kind") == "scenario":
-                scenarios.append(Scenario.from_dict(record["scenario"]))
+            scenario = self._scenario_from_header(path)
+            if scenario is not None:
+                scenarios.append(scenario)
         return scenarios
+
+    def scenario_for_hash(self, content_hash: str) -> Scenario | None:
+        """Resolve a content hash back to the scenario recorded in its header.
+
+        The hash reaches this method straight from a URL path segment
+        (``GET /results/<hash>``), so anything that is not a well-formed
+        :meth:`Scenario.content_hash` digest is rejected *before* the path
+        join — a traversal payload must never escape the store root.
+        """
+        if not _HASH_RE.fullmatch(content_hash):
+            return None
+        path = self.root / f"{content_hash}.jsonl"
+        if not path.exists():
+            return None
+        return self._scenario_from_header(path)
+
+    def summaries(self) -> list[StoreRecord]:
+        """One :class:`StoreRecord` per scenario on record (sorted by hash)."""
+        records = []
+        for scenario in self.scenarios_on_record():
+            runs = self.load(scenario)
+            records.append(
+                StoreRecord(
+                    scenario=scenario,
+                    hash=scenario.content_hash(),
+                    replications_on_record=len(runs),
+                    solved_runs=sum(1 for run in runs.values() if run.result.solved),
+                )
+            )
+        return records
+
+    @staticmethod
+    def _scenario_from_header(path: Path) -> Scenario | None:
+        with path.open("r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        if not first:
+            return None
+        try:
+            record = json.loads(first)
+        except json.JSONDecodeError:
+            return None
+        if record.get("kind") != "scenario":
+            return None
+        return Scenario.from_dict(record["scenario"])

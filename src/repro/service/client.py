@@ -1,0 +1,155 @@
+"""Typed client for the simulation service, over stdlib ``urllib``.
+
+:class:`ServiceClient` speaks the wire protocol of
+:mod:`repro.service.server` and is what ``repro submit --url`` uses, so the
+CLI can target a remote server instead of simulating locally::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    status = client.submit("one-fail-adaptive k=256 reps=5 seed=1")
+    status = client.wait(status.id)
+    payload = client.result(status.hash)        # ResultSet.to_dict() shape
+
+Every HTTP failure — connection refused, non-2xx status, malformed JSON —
+surfaces as :class:`ServiceError` carrying the server's ``error`` message
+and status code, never a bare ``urllib`` exception.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.scenarios.scenario import Scenario
+from repro.service.wire import JOB_FAILED, JobStatus
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A service request failed (transport error or error response)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Thin blocking client: ``submit`` / ``wait`` / ``result`` and friends.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8765`` (trailing slash ok).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- requests
+    def _request(
+        self,
+        path: str,
+        body: bytes | None = None,
+        content_type: str | None = None,
+    ) -> dict[str, object]:
+        request = urllib.request.Request(self.base_url + path, data=body)
+        if content_type is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", str(error))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = str(error)
+            raise ServiceError(message, status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error.reason}") from None
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"malformed response from {self.base_url}: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError(f"unexpected response shape: {payload!r}")
+        return payload
+
+    @staticmethod
+    def _job_status(payload: dict[str, object], deduplicated: bool = False) -> JobStatus:
+        job = dict(payload["job"])  # type: ignore[arg-type]
+        job.setdefault("deduplicated", deduplicated)
+        return JobStatus.from_wire(job)
+
+    # ------------------------------------------------------------------ verbs
+    def submit(self, scenario: Scenario | str) -> JobStatus:
+        """Submit a scenario (object or compact spec string) for execution.
+
+        The returned status carries the disposition: ``cached`` jobs are
+        already ``done`` (served from the server's store with zero new
+        simulations); ``deduplicated`` ones share an in-flight job.
+        """
+        if isinstance(scenario, Scenario):
+            body = scenario.to_json().encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = scenario.encode("utf-8")
+            content_type = "text/plain"
+        payload = self._request("/scenarios", body=body, content_type=content_type)
+        return self._job_status(payload, deduplicated=bool(payload.get("deduplicated")))
+
+    def job(self, job_id: str) -> JobStatus:
+        """Current status of one job."""
+        return self._job_status(self._request(f"/jobs/{job_id}"))
+
+    def jobs(self) -> list[JobStatus]:
+        """All jobs the server knows about, oldest first."""
+        payload = self._request("/jobs")
+        return [JobStatus.from_wire(job) for job in payload["jobs"]]  # type: ignore[union-attr]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = 300.0,
+        poll_interval: float = 0.05,
+    ) -> JobStatus:
+        """Poll until the job finishes; raises :class:`ServiceError` on timeout.
+
+        A ``failed`` job is *returned*, not raised — the caller inspects
+        ``status.error`` — so a bad scenario doesn't masquerade as a
+        transport problem.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status.finished:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.state} after {timeout:.0f}s "
+                    f"({status.done}/{status.total} replications)"
+                )
+            time.sleep(poll_interval)
+
+    def result(self, content_hash: str) -> dict[str, object]:
+        """Completed ``ResultSet.to_dict()`` payload for a scenario hash."""
+        return self._request(f"/results/{content_hash}")
+
+    def run(self, scenario: Scenario | str, timeout: float | None = 300.0) -> dict[str, object]:
+        """Submit, wait, and fetch the full result payload in one call."""
+        status = self.submit(scenario)
+        if not status.finished:
+            status = self.wait(status.id, timeout=timeout)
+        if status.state == JOB_FAILED:
+            raise ServiceError(f"job {status.id} failed: {status.error}")
+        return self.result(status.hash)
+
+    def store_records(self) -> list[dict[str, object]]:
+        """The server's store listing (``GET /store``)."""
+        return list(self._request("/store")["records"])  # type: ignore[arg-type]
+
+    def health(self) -> dict[str, object]:
+        """The ``GET /healthz`` payload."""
+        return self._request("/healthz")

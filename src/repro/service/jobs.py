@@ -1,0 +1,303 @@
+"""The job-queue layer: FIFO workers draining scenarios through one Session.
+
+A :class:`JobManager` owns a strict-FIFO queue of :class:`Job`\\ s and a pool
+of daemon worker threads that drain it through **one shared**
+:class:`~repro.scenarios.session.Session` (whose store access is
+thread-safe, see :mod:`repro.scenarios.session`).  Submissions take one of
+three paths:
+
+* **cached** — every replication is already on record in the session's
+  store, so the scenario is executed synchronously on the submitting thread
+  (zero new simulations, the session serves the store) and the job is born
+  ``done`` with ``cached=True``; it never touches the queue;
+* **deduplicated** — an identical scenario (same
+  :meth:`~repro.scenarios.scenario.Scenario.content_hash`, replication count
+  covered) is already queued or running, so the submission attaches to that
+  in-flight job instead of enqueueing a duplicate — N clients asking for the
+  same cell cost one execution;
+* **queued** — anything else joins the tail of the FIFO queue and is
+  reported ``queued`` until a worker picks it up.
+
+Progress flows from the session's :data:`~repro.scenarios.session.SessionProgress`
+callback (invoked in worker callback context) into ``Job.done``, so
+``GET /jobs/<id>`` can report per-replication progress while the cell runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import ResultSet, Session
+from repro.service.wire import JOB_DONE, JOB_FAILED, JOB_QUEUED, JOB_RUNNING
+
+__all__ = ["Job", "JobManager"]
+
+
+@dataclass
+class Job:
+    """One submitted scenario and its lifecycle state.
+
+    Mutable fields are only written under the owning manager's lock (or by
+    the single worker executing the job); readers take :meth:`snapshot` for
+    a consistent wire-ready view.
+    """
+
+    id: str
+    scenario: Scenario
+    content_hash: str
+    state: str = JOB_QUEUED
+    done: int = 0
+    cached: bool = False
+    error: str | None = None
+    result_set: ResultSet | None = None
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    finished: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def total(self) -> int:
+        return self.scenario.replications
+
+    def snapshot(self) -> dict[str, object]:
+        """Wire-ready view of the job (the ``GET /jobs/<id>`` payload)."""
+        return {
+            "id": self.id,
+            "hash": self.content_hash,
+            "scenario": self.scenario.format(),
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+            "cached": self.cached,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobManager:
+    """FIFO worker pool executing scenarios through one shared session.
+
+    Parameters
+    ----------
+    session:
+        The (thread-safe) session all jobs run through; give it a
+        ``store_dir`` to get the cached fast path and cross-restart reuse.
+    workers:
+        Number of concurrently executing jobs.  ``1`` (the default) keeps
+        strict FIFO *completion* order; higher values still *start* jobs in
+        FIFO order.
+    start:
+        ``False`` creates the manager without worker threads — jobs then
+        only run via :meth:`process_next` (the unit tests drive the queue
+        this way to observe intermediate states deterministically).
+    max_finished:
+        Finished jobs retained for ``GET /jobs/<id>`` lookups.  An always-on
+        server creates one :class:`Job` per submission (cached hits
+        included), so the oldest finished jobs — and their result sets — are
+        evicted beyond this bound; their results remain available through
+        the store via ``GET /results/<hash>``.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        workers: int = 1,
+        start: bool = True,
+        max_finished: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_finished < 1:
+            raise ValueError(f"max_finished must be positive, got {max_finished}")
+        self.session = session
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._queue: deque[Job] = deque()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}  # content hash -> queued/running job
+        self._finished_order: deque[str] = deque()  # job ids, oldest first
+        self._next_id = 1
+        self._shutdown = False
+        self._threads: list[threading.Thread] = []
+        if start:
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"repro-job-worker-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, scenario: Scenario) -> tuple[Job, str]:
+        """Submit a scenario; returns ``(job, disposition)``.
+
+        ``disposition`` is ``"cached"``, ``"deduplicated"`` or ``"queued"``
+        (see module docstring for the three paths).
+        """
+        content_hash = scenario.content_hash()
+        with self._lock:
+            existing = self._dedup_target(content_hash, scenario)
+            if existing is not None:
+                return existing, "deduplicated"
+        # The cache probe reads the store, so it runs outside the lock; on a
+        # hit it *is* the answer (one JSONL read, zero simulations).
+        cached_result = self.session.run_cached(scenario)
+        if cached_result is not None:
+            job = self._register(scenario, content_hash, inflight=False)
+            job.started_at = job.finished_at = time.time()
+            job.result_set = cached_result
+            job.done = job.total
+            job.cached = True
+            job.state = JOB_DONE
+            self._mark_finished(job)
+            return job, "cached"
+        with self._lock:
+            existing = self._dedup_target(content_hash, scenario)
+            if existing is not None:
+                return existing, "deduplicated"
+            job = self._register(scenario, content_hash, inflight=True)
+            self._queue.append(job)
+            self._work_available.notify()
+        return job, "queued"
+
+    def _dedup_target(self, content_hash: str, scenario: Scenario) -> Job | None:
+        """The in-flight job a duplicate submission attaches to, if any.
+
+        The hash excludes the replication count, so an in-flight job only
+        absorbs submissions it covers (asking for *more* replications than
+        the running job would under-deliver → new job; the store then serves
+        the overlap when it runs).
+        """
+        job = self._inflight.get(content_hash)
+        if job is None or job.state not in (JOB_QUEUED, JOB_RUNNING):
+            return None
+        if job.scenario.replications < scenario.replications:
+            return None
+        return job
+
+    def _register(self, scenario: Scenario, content_hash: str, inflight: bool) -> Job:
+        if not inflight:
+            self._lock.acquire()
+        try:
+            job = Job(
+                id=f"job-{self._next_id}",
+                scenario=scenario,
+                content_hash=content_hash,
+            )
+            self._next_id += 1
+            self._jobs[job.id] = job
+            if inflight:
+                self._inflight[content_hash] = job
+            return job
+        finally:
+            if not inflight:
+                self._lock.release()
+
+    # --------------------------------------------------------------- queries
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes (or the timeout elapses); returns it."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        job.finished.wait(timeout)
+        return job
+
+    def result_for_hash(self, content_hash: str) -> ResultSet | None:
+        """The result set of the most recent completed job for this hash."""
+        with self._lock:
+            candidates = [
+                job
+                for job in self._jobs.values()
+                if job.content_hash == content_hash and job.state == JOB_DONE
+            ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda job: job.finished_at or 0.0).result_set
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per lifecycle state (the ``/healthz`` payload)."""
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+        return {
+            JOB_QUEUED: states.count(JOB_QUEUED),
+            JOB_RUNNING: states.count(JOB_RUNNING),
+            JOB_DONE: states.count(JOB_DONE),
+            JOB_FAILED: states.count(JOB_FAILED),
+        }
+
+    # ------------------------------------------------------------- execution
+    def process_next(self) -> Job | None:
+        """Run the head-of-queue job on the calling thread (test hook)."""
+        with self._lock:
+            if not self._queue:
+                return None
+            job = self._queue.popleft()
+        self._run_job(job)
+        return job
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_available:
+                while not self._queue and not self._shutdown:
+                    self._work_available.wait()
+                if self._shutdown and not self._queue:
+                    return
+                job = self._queue.popleft()
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JOB_RUNNING
+        job.started_at = time.time()
+
+        def progress(_index: int, _scenario: Scenario, done: int, _total: int) -> None:
+            job.done = done
+
+        try:
+            job.result_set = self.session.run(job.scenario, progress=progress)
+        except Exception as error:  # a failed job must not kill its worker
+            job.state = JOB_FAILED
+            job.error = f"{type(error).__name__}: {error}"
+        else:
+            job.state = JOB_DONE
+            job.done = job.total
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                if self._inflight.get(job.content_hash) is job:
+                    del self._inflight[job.content_hash]
+            self._mark_finished(job)
+
+    def _mark_finished(self, job: Job) -> None:
+        """Record a finished job and evict the oldest beyond ``max_finished``."""
+        with self._lock:
+            self._finished_order.append(job.id)
+            while len(self._finished_order) > self.max_finished:
+                evicted = self._finished_order.popleft()
+                self._jobs.pop(evicted, None)
+        job.finished.set()
+
+    # -------------------------------------------------------------- shutdown
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers after the queue drains; idempotent."""
+        with self._work_available:
+            self._shutdown = True
+            self._work_available.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)

@@ -1,0 +1,228 @@
+"""The threaded HTTP/JSON simulation server behind ``repro serve``.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` whose handler
+routes five endpoints onto a :class:`~repro.service.jobs.JobManager` and its
+shared :class:`~repro.scenarios.session.Session`:
+
+========================  ====================================================
+``POST /scenarios``       submit a scenario (spec string / JSON / TOML body);
+                          202 + job payload when queued, 200 with
+                          ``cached: true`` (zero new simulations) or
+                          ``deduplicated: true`` otherwise
+``GET /jobs/<id>``        job status + per-replication progress
+``GET /jobs``             all known jobs, oldest first
+``GET /results/<hash>``   completed ``ResultSet.to_dict()`` payload for a
+                          scenario content hash (from a finished job or
+                          straight from the result store)
+``GET /store``            the store listing (one record per scenario file)
+``GET /healthz``          liveness + job counts
+========================  ====================================================
+
+Each request runs on its own thread (``ThreadingHTTPServer``), while
+simulations run on the job manager's worker threads — a slow cell never
+blocks health checks or status polls.  Requests that *do* execute scenarios
+synchronously (cached submissions, store-served ``/results/<hash>``) perform
+zero simulations by construction, so they stay fast too.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.scenarios.session import Session
+from repro.scenarios.spec import SpecError
+from repro.service.jobs import JobManager
+from repro.service.wire import dump_json, parse_scenario_body
+
+__all__ = ["ReproServer", "create_server", "serve"]
+
+
+class ReproServer(ThreadingHTTPServer):
+    """HTTP server owning the session and job manager it serves."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        session: Session,
+        jobs: JobManager,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.session = session
+        self.jobs = jobs
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests and benchmarks); returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-service", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop serving and drain the job workers; idempotent."""
+        self.shutdown()
+        self.server_close()
+        self.jobs.shutdown(wait=True)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer
+
+    # ----------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: dict[str, object]) -> None:
+        body = dump_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, **extra: object) -> None:
+        self._send(status, {"error": message, **extra})
+
+    # ------------------------------------------------------------------ routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._get_healthz()
+        elif path == "/store":
+            self._get_store()
+        elif path == "/jobs":
+            self._send(200, {"jobs": [job.snapshot() for job in self.server.jobs.jobs()]})
+        elif path.startswith("/jobs/"):
+            self._get_job(path.removeprefix("/jobs/"))
+        elif path.startswith("/results/"):
+            self._get_result(path.removeprefix("/results/"))
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        if self.path.rstrip("/") != "/scenarios":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length)
+        try:
+            scenario = parse_scenario_body(body, self.headers.get("Content-Type"))
+        except (SpecError, ValueError, KeyError) as error:
+            self._error(400, f"bad scenario: {error}")
+            return
+        job, disposition = self.server.jobs.submit(scenario)
+        payload = {
+            "job": job.snapshot(),
+            "hash": job.content_hash,
+            "cached": disposition == "cached",
+            "deduplicated": disposition == "deduplicated",
+        }
+        self._send(202 if disposition == "queued" else 200, payload)
+
+    # ---------------------------------------------------------------- handlers
+    def _get_healthz(self) -> None:
+        from repro import __version__
+
+        session = self.server.session
+        self._send(
+            200,
+            {
+                "status": "ok",
+                "version": __version__,
+                "store": str(session.store.root) if session.store is not None else None,
+                "jobs": self.server.jobs.counts(),
+            },
+        )
+
+    def _get_store(self) -> None:
+        store = self.server.session.store
+        records = [record.to_dict() for record in store.summaries()] if store else []
+        self._send(200, {"records": records})
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.jobs.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        self._send(200, {"job": job.snapshot()})
+
+    def _get_result(self, content_hash: str) -> None:
+        result_set = self.server.jobs.result_for_hash(content_hash)
+        if result_set is not None:
+            self._send(200, result_set.to_dict())
+            return
+        session = self.server.session
+        scenario = (
+            session.store.scenario_for_hash(content_hash) if session.store is not None else None
+        )
+        if scenario is None:
+            self._error(404, f"no results for hash {content_hash!r}")
+            return
+        # Fully on record: served entirely from the store, zero simulations.
+        stored = session.run_cached(scenario)
+        if stored is None:
+            self._error(
+                409,
+                f"scenario {content_hash!r} is incomplete",
+                cached_replications=session.cached_count(scenario),
+                replications=scenario.replications,
+            )
+            return
+        self._send(200, stored.to_dict())
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_dir: str | Path | None = None,
+    workers: int | None = 1,
+    job_workers: int = 1,
+    batch: bool = True,
+    quiet: bool = True,
+) -> ReproServer:
+    """Assemble a ready-to-serve :class:`ReproServer` (port 0 = ephemeral)."""
+    session = Session(store_dir=store_dir, workers=workers, batch=batch)
+    jobs = JobManager(session, workers=job_workers)
+    return ReproServer((host, port), session, jobs, quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store_dir: str | Path | None = None,
+    workers: int | None = 1,
+    job_workers: int = 1,
+    batch: bool = True,
+    quiet: bool = False,
+) -> int:
+    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop)."""
+    server = create_server(
+        host=host,
+        port=port,
+        store_dir=store_dir,
+        workers=workers,
+        job_workers=job_workers,
+        batch=batch,
+        quiet=quiet,
+    )
+    print(f"repro service listening on {server.url} "
+          f"(store: {store_dir if store_dir is not None else 'none — in-memory'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0

@@ -1,0 +1,100 @@
+"""CLI tests for the service subcommands: ``serve`` wiring, ``submit``, ``store``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import Scenario, Session
+from repro.service import create_server
+
+SPEC = "one-fail-adaptive k=48 reps=3 seed=11"
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = create_server(port=0, store_dir=tmp_path / "store", quiet=True)
+    server.start_background()
+    yield server
+    server.close()
+
+
+class TestSubmitCommand:
+    def test_submit_round_trip(self, capsys, server):
+        assert main(["submit", SPEC, "--url", server.url]) == 0
+        output = capsys.readouterr().out
+        assert "new runs" in output
+        assert Scenario.parse(SPEC).content_hash() in output
+
+    def test_resubmit_reports_cached_json(self, capsys, server):
+        assert main(["submit", SPEC, "--url", server.url, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cached"] is False
+        assert first["new_runs"] == 3
+        assert main(["submit", SPEC, "--url", server.url, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert second["new_runs"] == 0
+        assert second["cached_runs"] == 3
+
+    def test_no_wait_prints_job_id(self, capsys, server):
+        assert main(["submit", SPEC, "--url", server.url, "--no-wait", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job_id"].startswith("job-")
+        assert payload["hash"] == Scenario.parse(SPEC).content_hash()
+
+    def test_overrides_apply_before_submission(self, capsys, server):
+        assert main(["submit", SPEC, "--url", server.url, "--reps", "2", "--seed", "99",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 2
+        assert payload["scenario"]["seed"] == 99
+
+    def test_unreachable_server_is_clean_error(self, capsys):
+        assert main(["submit", SPEC, "--url", "http://127.0.0.1:9", "--timeout", "2"]) == 2
+        assert "service error" in capsys.readouterr().err
+
+    def test_bad_spec_is_clean_error(self, capsys, server):
+        assert main(["submit", "no-such-protocol k=10", "--url", server.url]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_lists_scenarios_on_record(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        Session(store_dir=store_dir).run(Scenario.parse(SPEC))
+        assert main(["store", str(store_dir)]) == 0
+        output = capsys.readouterr().out
+        assert Scenario.parse(SPEC).content_hash() in output
+        assert "3/3" in output
+
+    def test_json_records(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        Session(store_dir=store_dir).run(Scenario.parse(SPEC))
+        assert main(["store", str(store_dir), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["hash"] == Scenario.parse(SPEC).content_hash()
+        assert records[0]["solved_fraction"] == 1.0
+
+    def test_empty_store_directory(self, capsys, tmp_path):
+        assert main(["store", str(tmp_path)]) == 0
+        assert "no scenarios on record" in capsys.readouterr().out
+
+    def test_missing_directory_is_clean_error(self, capsys, tmp_path):
+        assert main(["store", str(tmp_path / "absent")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", "s", "--job-workers", "2", "--no-batch"]
+        )
+        assert args.port == 0
+        assert args.job_workers == 2
+        assert args.batch is False
+        assert args.func.__name__ == "_cmd_serve"
