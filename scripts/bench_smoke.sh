@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # Fast benchmark smoke target: exercises each benchmark harness path that is
 # cheap enough for CI (the parallel-execution fidelity checks and the
-# batch-engine distributional/eligibility checks of bench_batch.py) without
-# running the full sweeps, then a Session-store smoke run proving that a
-# repeated scenario execution is served entirely from the result store.
-# The full batch-speedup trajectory (writes benchmark_results/BENCH_batch.json)
-# runs with:
+# batch-engine + batch-window-engine distributional/eligibility checks of
+# bench_batch.py — both batch engines' sweeps must stay distributionally
+# interchangeable with their per-run paths, and the registry must route fair
+# and windowed cells to their own batch engines) without running the full
+# sweeps, then a Session-store smoke run proving that a repeated scenario
+# execution is served entirely from the result store.
+# The full batch-speedup trajectories (write benchmark_results/BENCH_batch.json
+# and benchmark_results/BENCH_batch_window.json) run with:
 #   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
 # Usage:  sh scripts/bench_smoke.sh
 set -eu

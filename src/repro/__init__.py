@@ -15,8 +15,8 @@ The library provides:
 * the baselines the paper compares against — :class:`LogFailsAdaptive`
   (reconstruction of reference [7]) and :class:`LogLogIteratedBackoff` plus
   the rest of the monotone back-off family of reference [2];
-* the channel substrate (:mod:`repro.channel`) and three cross-validated
-  simulation engines (:mod:`repro.engine`);
+* the channel substrate (:mod:`repro.channel`) and five cross-validated
+  simulation engines behind one capability registry (:mod:`repro.engine`);
 * the analysis toolkit (:mod:`repro.analysis`, :mod:`repro.core.analysis`);
 * the experiment harness regenerating Figure 1 and Table 1
   (:mod:`repro.experiments`); and
@@ -50,12 +50,16 @@ from repro.core import ExpBackonBackoff, OneFailAdaptive
 from repro.core import analysis as paper_analysis
 from repro.engine import (
     BatchFairEngine,
+    BatchWindowEngine,
+    EngineCapabilities,
     FairEngine,
     SimulationResult,
     SlotEngine,
     WindowEngine,
     available_engines,
+    batch_engine_for,
     compare_engines,
+    engine_capabilities,
     simulate,
     simulate_batch,
 )
@@ -120,7 +124,11 @@ __all__ = [
     "WindowEngine",
     "SlotEngine",
     "BatchFairEngine",
+    "BatchWindowEngine",
+    "EngineCapabilities",
     "available_engines",
+    "batch_engine_for",
+    "engine_capabilities",
     "compare_engines",
     # scenarios (declarative front door)
     "Scenario",

@@ -39,48 +39,15 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.channel.arrivals import ArrivalProcess
-from repro.channel.arrivals import build_arrivals as build_arrivals_from_spec
 from repro.core.one_fail_adaptive import OneFailAdaptive
-from repro.engine.dispatch import available_engines
-from repro.protocols.base import Protocol, available_protocols, get_protocol_class
-from repro.protocols.base import build_protocol as build_protocol_from_spec
+from repro.engine.registry import available_engines
+from repro.protocols.base import available_protocols, get_protocol_class
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.session import ResultSet, Session
 from repro.scenarios.spec import SpecError, format_spec
 from repro.util.tables import format_text_table
 
-__all__ = ["main", "build_protocol", "build_arrivals"]
-
-
-def build_protocol(name: str, k: int, delta: float | None = None, xi_t: float = 0.5) -> Protocol:
-    """Instantiate a registered protocol with sensible evaluation parameters.
-
-    .. deprecated::
-        Thin wrapper kept for backward compatibility; it simply assembles a
-        protocol spec string and delegates to
-        :func:`repro.protocols.base.build_protocol`, which is the one place
-        protocol construction now lives.
-    """
-    return build_protocol_from_spec(_protocol_spec(name, delta=delta, xi_t=xi_t), k)
-
-
-def build_arrivals(
-    kind: str,
-    k: int,
-    rate: float = 0.1,
-    bursts: int = 4,
-    gap: int | None = None,
-) -> ArrivalProcess | None:
-    """Build the arrival process selected by the ``--arrivals`` flag.
-
-    .. deprecated::
-        Thin wrapper kept for backward compatibility; it assembles an arrival
-        spec string and delegates to
-        :func:`repro.channel.arrivals.build_arrivals` (the registry).
-        ``"batch"`` returns ``None`` (the static default of ``simulate``).
-    """
-    return build_arrivals_from_spec(_arrivals_spec(kind, rate=rate, bursts=bursts, gap=gap), k)
+__all__ = ["main"]
 
 
 def _protocol_spec(name: str, delta: float | None = None, xi_t: float = 0.5) -> str:

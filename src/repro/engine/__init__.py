@@ -1,62 +1,96 @@
-"""Simulation engines and how one gets picked.
+"""Simulation engines and the capability registry that picks between them.
 
-Four engines produce makespan samples of the *same* stochastic process — the
-paper's channel model — at very different costs.  This docstring is the
-engine-selection guide: what each engine requires (its contract), what it
-costs, and when :func:`pick_engine` / the sweep runner choose it.
+Five engines produce makespan samples of the *same* stochastic process — the
+paper's channel model — at very different costs.  Which engine serves which
+request is not hard-coded anywhere: every engine class declares an
+:class:`~repro.engine.registry.EngineCapabilities` record (the protocol
+*kinds* it can serve, the channel feedback models it implements, whether it
+supports staggered arrivals, whether it is *batched*, whether it collects
+traces) and registers itself with the :mod:`repro.engine.registry`; every
+protocol declares its kind
+(:attr:`~repro.protocols.base.Protocol.protocol_kind`).  Dispatch, sweep
+batch planning, the scenario layer and the CLI's ``--engine`` choices are all
+queries against those declarations.  This docstring is the engine-selection
+guide: what each engine declares, what it costs, and when the registry
+chooses it.
 
 * :class:`~repro.engine.slot_engine.SlotEngine` — wraps the exact node-level
-  :class:`~repro.channel.radio_network.RadioNetwork`.  **Contract:** none; it
-  works for every protocol, every channel model and every arrival process,
-  and it is the reference the reduced engines are validated against.
-  **Cost:** O(active nodes) per slot.  **Picked when:** the protocol fits no
-  reduction, a non-default channel is requested, or an ``arrivals`` process
-  is given (the reductions below all assume every station starts at slot 0).
-* :class:`~repro.engine.fair_engine.FairEngine` — for
-  :class:`~repro.protocols.base.FairProtocol`.  **Contract:** every active
-  station transmits with the same probability ``p`` and updates state only on
-  commonly-observed feedback (`state_depends_on_own_transmission` must be
-  False).  The slot outcome is then ``Binomial(m, p)``-distributed —
-  ``P(success) = m·p·(1−p)^{m−1}``, ``P(silence) = (1−p)^m`` — so one uniform
-  draw per slot suffices.  **Cost:** O(1) per slot regardless of k.
-  **Picked when:** ``engine="auto"`` for a fair protocol on the paper's
-  channel (single runs; it is also the only fair-path engine that collects
-  traces).
-* :class:`~repro.engine.window_engine.WindowEngine` — for
-  :class:`~repro.protocols.base.WindowedProtocol`.  **Contract:** stations
-  commit to one uniform slot per contention window and the window schedule is
-  a pure function of the window index; a whole window is then one
+  :class:`~repro.channel.radio_network.RadioNetwork`.  **Declares:** every
+  protocol kind, every feedback model, arrivals, traces — it is the
+  reference the reduced engines are validated against, and carries the
+  highest cost rank so ``"auto"`` falls back to it only when no reduction
+  applies.  **Cost:** O(active nodes) per slot.
+* :class:`~repro.engine.fair_engine.FairEngine` — **declares:** kind
+  ``"fair"``, the paper's channel, traces.  The contract behind the kind:
+  every active station transmits with the same probability ``p`` and updates
+  state only on commonly-observed feedback, so the slot outcome is
+  ``Binomial(m, p)``-distributed — ``P(success) = m·p·(1−p)^{m−1}``,
+  ``P(silence) = (1−p)^m`` — and one uniform draw per slot suffices.
+  **Cost:** O(1) per slot regardless of k.  **Picked when:**
+  ``engine="auto"`` for a fair protocol on the paper's channel (single and
+  traced runs).
+* :class:`~repro.engine.window_engine.WindowEngine` — **declares:** kind
+  ``"windowed"``, the paper's channel, traces.  The contract: stations
+  commit to one uniform slot per contention window and the window schedule
+  is a pure function of the window index; a whole window is then one
   balls-in-bins experiment.  **Cost:** O(window) numpy work per window (runs
   with k = 10⁷ take seconds).  **Picked when:** ``engine="auto"`` for a
   windowed protocol on the paper's channel.
-* :class:`~repro.engine.batch_engine.BatchFairEngine` — for fair protocols
-  that expose vectorised state via
-  :meth:`~repro.protocols.base.FairProtocol.make_batch_state`.  **Contract:**
-  the fair-engine contract plus a numpy mirror of the protocol's shared
-  state; protocols additionally declaring
+* :class:`~repro.engine.batch_engine.BatchFairEngine` — **declares:** kind
+  ``"fair"``, the paper's channel, *batched* (no traces, no arrivals).  On
+  top of the declared capabilities, its ``supports`` hook requires the
+  protocol to expose vectorised state via
+  :meth:`~repro.protocols.base.FairProtocol.make_batch_state`; protocols
+  additionally declaring
   :attr:`~repro.protocols.base.FairProtocol.probability_constant_between_receptions`
-  get geometric silence-run skipping.  **Cost:** one vectorised slot step for
-  *all R replications of a sweep cell at once* — one ``Generator.random(R)``
-  draw per slot, with finished replications retired so the batch shrinks.
-  **Picked when:** :func:`repro.experiments.runner.run_sweep` groups a cell's
-  seeds into one batch (the default for eligible cells; disable with
-  ``batch=False`` / ``--no-batch``), or explicitly via ``engine="batch"``.
-  Never picked by ``engine="auto"``, which serves single runs.  Its runs are
-  distributionally identical — not bit-identical — to the per-run engines,
-  because the whole batch consumes one interleaved random stream.
+  get geometric silence-run skipping.  **Cost:** one vectorised slot step
+  for all R replications of a sweep cell at once.
+* :class:`~repro.engine.batch_window_engine.BatchWindowEngine` —
+  **declares:** kind ``"windowed"``, the paper's channel, *batched* (no
+  traces, no arrivals).  Its ``supports`` hook requires a shared schedule
+  via
+  :meth:`~repro.protocols.base.WindowedProtocol.make_window_batch_state`
+  (i.e. a feedback-oblivious window schedule — Exp Back-on/Back-off and the
+  whole monotone back-off family qualify).  **Cost:** one multinomial
+  occupancy matrix per contention window covering all R live replications,
+  with finished replications retired.
 
-:func:`simulate` dispatches a single run to the cheapest applicable engine,
-:func:`simulate_batch` runs a whole cell through the batch engine, and
-:mod:`repro.engine.validation` provides the statistical cross-checks used by
-the test suite and the engine ablation benchmark.
+Batched engines are never chosen by ``engine="auto"`` for single runs; they
+serve whole cells.  :func:`repro.experiments.runner.run_sweep` and the
+scenario :class:`~repro.scenarios.session.Session` group a cell's seeds into
+one :func:`simulate_batch` call whenever the registry's
+:func:`~repro.engine.registry.batch_engine_for` — the repository's **one**
+batch-eligibility predicate — reports an eligible engine (default; disable
+with ``batch=False`` / ``--no-batch``), and batch runs can also be requested
+explicitly via ``engine="batch"`` / ``engine="batch-window"``.  Batched runs
+are **distributionally identical but not bit-identical** to their per-run
+counterparts: the whole batch consumes one random stream derived from the
+full seed tuple, so the i-th replication's draws interleave with its
+siblings'.  The parity (same makespan mean and quantiles within sampling
+tolerance, same solved rate at a binding cap) is pinned by
+``tests/engine/test_batch_engine.py`` and
+``tests/engine/test_batch_window_engine.py``.
+
+:func:`simulate` dispatches a single run to the cheapest capable engine,
+:func:`simulate_batch` runs a whole cell through the eligible batch engine,
+and :mod:`repro.engine.validation` provides the statistical cross-checks
+used by the test suite and the engine ablation benchmark.
 """
 
+from repro.engine.registry import (
+    EngineCapabilities,
+    EngineRegistry,
+    available_engines,
+    batch_engine_for,
+    engine_capabilities,
+)
 from repro.engine.result import SimulationResult
 from repro.engine.slot_engine import SlotEngine
 from repro.engine.fair_engine import FairEngine
 from repro.engine.window_engine import WindowEngine
 from repro.engine.batch_engine import BatchFairEngine
-from repro.engine.dispatch import available_engines, pick_engine, simulate, simulate_batch
+from repro.engine.batch_window_engine import BatchWindowEngine
+from repro.engine.dispatch import pick_engine, simulate, simulate_batch
 from repro.engine.validation import compare_engines, makespan_samples
 
 __all__ = [
@@ -65,10 +99,15 @@ __all__ = [
     "FairEngine",
     "WindowEngine",
     "BatchFairEngine",
+    "BatchWindowEngine",
+    "EngineCapabilities",
+    "EngineRegistry",
     "simulate",
     "simulate_batch",
     "pick_engine",
     "available_engines",
+    "batch_engine_for",
+    "engine_capabilities",
     "compare_engines",
     "makespan_samples",
 ]

@@ -41,8 +41,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.model import ChannelModel, FeedbackModel
+from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
+from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
 from repro.engine.result import SimulationResult
 from repro.protocols.base import FairBatchState, FairProtocol, Protocol
 from repro.util.validation import check_positive_int
@@ -130,35 +131,42 @@ def _outcome_probabilities(
     return probability_success, probability_silence
 
 
+@register_engine
 class BatchFairEngine:
     """Simulate all replications of a fair-protocol cell in numpy lockstep."""
 
     name = "batch"
 
+    #: Batched engine for fair protocols on the paper's channel: no traces
+    #: (outcomes are classified in bulk), no arrivals (slot-0 starts assumed).
+    #: Eligibility of a *specific* protocol instance is :meth:`supports`.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"fair"}),
+        batched=True,
+        cost_rank=50,
+    )
+
     def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
-        self.channel = channel if channel is not None else ChannelModel()
-        if self.channel.feedback is not FeedbackModel.NO_COLLISION_DETECTION:
-            raise ValueError(
-                "BatchFairEngine models the paper's channel (no collision detection); "
-                "use SlotEngine for other feedback models"
-            )
-        if not self.channel.acknowledgements:
-            raise ValueError("BatchFairEngine requires acknowledgements (the paper's model)")
+        self.channel = check_engine_channel(type(self), channel)
         self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
 
     # ------------------------------------------------------------ eligibility
-    @staticmethod
-    def supports(protocol: Protocol) -> bool:
+    @classmethod
+    def supports(cls, protocol: Protocol) -> bool:
         """Whether ``protocol`` can be simulated by the batch engine.
 
-        Requires the fair-engine contract *and* a vectorised batch state; a
-        fair protocol that does not override
+        The per-protocol half of eligibility, layered by the registry's
+        :func:`~repro.engine.registry.batch_engine_for` on top of the
+        declared :class:`EngineCapabilities`: the protocol must declare the
+        fair kind, honour the fair-engine contract *and* provide a
+        vectorised batch state.  A fair protocol that does not override
         :meth:`~repro.protocols.base.FairProtocol.make_batch_state` silently
         takes the per-run path in sweeps.
         """
+        if getattr(protocol, "protocol_kind", "generic") not in cls.capabilities.protocol_kinds:
+            return False
         return (
-            isinstance(protocol, FairProtocol)
-            and not protocol.state_depends_on_own_transmission
+            not protocol.state_depends_on_own_transmission
             and protocol.make_batch_state(1) is not None
         )
 

@@ -1,0 +1,442 @@
+"""Vectorised batch-replication engine for windowed protocols.
+
+:class:`~repro.engine.window_engine.WindowEngine` already reduces one run of
+a windowed protocol to one balls-in-bins experiment per contention window,
+but a sweep cell still pays one Python-interpreted *window loop per
+replication*: R replications of a (protocol, k) cell cost R × (number of
+windows) interpreter iterations, each wrapped around a handful of small numpy
+calls whose fixed dispatch overhead dominates at Figure-1 cell sizes.  This
+engine runs **all R replications of a cell in lockstep** instead:
+
+* the protocol exposes its (deterministic, feedback-oblivious) window
+  schedule through
+  :meth:`~repro.protocols.base.WindowedProtocol.make_window_batch_state` —
+  every replication traverses the *same* windows, which is exactly the
+  structure that makes lockstep simulation sound;
+* every window performs *one* multinomial slot assignment covering every
+  live replication (each replication's ``remaining`` balls dropped uniformly
+  into the window's bins, materialised as an R × w occupancy matrix), and
+  classifies all R windows at once — singleton bins are successes,
+  multiply-hit bins collisions, empty bins silences;
+* ``remaining``/makespan updates are masked array operations, and finished
+  replications are retired from the batch (their final window truncated at
+  the last delivery, exactly as the per-run window engine truncates), so the
+  live batch shrinks as runs solve.
+
+Amortising the interpreter overhead alone cannot beat the serial window
+engine by much at large k — its per-window work is already vectorised — so
+the occupancy sampling itself is adaptive, keyed on the saturation ratio
+``m/w`` (balls per bin):
+
+* **saturated windows** (the exact union bound
+  ``w·[(1−1/w)^m + (m/w)(1−1/w)^{m−1}]`` on the probability that *any* bin
+  holds fewer than two balls — evaluated at the smallest live replication —
+  is below ``2^{-54}``, i.e. smaller than the resolution of the
+  double-precision uniforms every sampler here consumes): the all-collisions
+  outcome is emitted directly, with no random draws at all (this covers the
+  long descending tails of every back-off sawtooth);
+* **narrow windows** (``w·22 < mean m``, e.g. the mid-tail of a descent):
+  the occupancy rows are sampled directly from the multinomial distribution
+  (O(live·w) binomial draws — cheap because each bin expects many balls);
+* **wide windows** (the delivery-heavy windows with ``w ~ m``): explicit
+  ball throwing — one bounded-``integers`` draw per ball in the narrowest
+  sufficient dtype, offset per row, and a single ``bincount`` building the
+  occupancy matrix.  Rows are processed in chunks capping the matrix at
+  :data:`_MAX_WINDOW_CELLS` cells, so memory stays bounded at the paper's
+  Figure-1 right edge instead of scaling with R × w.
+
+The lockstep batch consumes a *single* random stream derived from the whole
+seed tuple, so its runs cannot be bit-identical to per-run
+:class:`WindowEngine` runs (the i-th replication's draws interleave with its
+siblings'); like :class:`~repro.engine.batch_engine.BatchFairEngine`, this
+engine is therefore validated **distributionally** — same makespan mean and
+quantiles within sampling tolerance, same solved rate at a binding slot cap —
+by ``tests/engine/test_batch_window_engine.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.model import ChannelModel
+from repro.channel.trace import ExecutionTrace
+from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
+from repro.engine.result import SimulationResult
+from repro.protocols.base import Protocol, WindowedProtocol
+from repro.util.validation import check_positive_int
+
+__all__ = ["BatchWindowEngine"]
+
+#: Threshold under which a window is all-collisions "for sure": a window is
+#: *saturated* when the exact union bound ``P(any bin holds <= 1 ball) <=
+#: w [(1-1/w)^m + (m/w)(1-1/w)^{m-1}]`` evaluates below this — one power of
+#: two under ``2^{-53}``, so even with the bound's own float rounding the
+#: event probability is beneath the resolution of the double-precision
+#: uniforms every sampler consumes, and emitting the certain all-collisions
+#: outcome is indistinguishable from sampling it.
+_SATURATED_BOUND = 2.0**-54
+
+#: Saturation ratio above which sampling the occupancy row directly from the
+#: multinomial distribution (O(w) binomial draws per replication) is cheaper
+#: than throwing the ``m`` balls explicitly (O(m) uniform draws).  Below the
+#: ratio the binomial sampler degrades to O(m/w) per bin anyway, so balls win.
+_MULTINOMIAL_RATIO = 22
+
+#: Cap on per-chunk work: both the occupancy matrix (replication rows ×
+#: window slots) and the ball-throw scratch arrays (rows × remaining
+#: messages) are kept at or under this many entries, so the engine's memory
+#: stays bounded (~64 MB of int64 per chunk) at the paper's Figure-1 right
+#: edge (k = 10⁷) instead of scaling with R × w or R × k.  Chunk boundaries
+#: are a deterministic function of the live batch, so same-seed runs stay
+#: bit-identical.
+_MAX_WINDOW_CELLS = 1 << 23
+
+
+@dataclass
+class _WindowBatchAccumulator:
+    """Final per-replication statistics, indexed by the original batch slot."""
+
+    solved: np.ndarray
+    makespan: np.ndarray
+    slots: np.ndarray
+    successes: np.ndarray
+    collisions: np.ndarray
+    silences: np.ndarray
+    windows: np.ndarray
+
+    @classmethod
+    def empty(cls, reps: int) -> "_WindowBatchAccumulator":
+        return cls(
+            solved=np.zeros(reps, dtype=bool),
+            makespan=np.zeros(reps, dtype=np.int64),
+            slots=np.zeros(reps, dtype=np.int64),
+            successes=np.zeros(reps, dtype=np.int64),
+            collisions=np.zeros(reps, dtype=np.int64),
+            silences=np.zeros(reps, dtype=np.int64),
+            windows=np.zeros(reps, dtype=np.int64),
+        )
+
+
+class _LiveWindowBatch:
+    """The still-running replications: per-replication counters.
+
+    Unlike the fair batch there is no per-replication protocol state to
+    carry — the window schedule is shared by contract
+    (:class:`~repro.protocols.base.WindowBatchState`) — so compaction only
+    touches the counters.
+    """
+
+    def __init__(self, k: int, reps: int) -> None:
+        self.orig = np.arange(reps)
+        self.remaining = np.full(reps, k, dtype=np.int64)
+        self.successes = np.zeros(reps, dtype=np.int64)
+        self.collisions = np.zeros(reps, dtype=np.int64)
+        self.silences = np.zeros(reps, dtype=np.int64)
+        self.windows = np.zeros(reps, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        return int(self.orig.size)
+
+    def retire(
+        self,
+        mask: np.ndarray,
+        out: _WindowBatchAccumulator,
+        solved: bool,
+        slots: np.ndarray,
+    ) -> None:
+        """Write final stats for the masked replications and drop them.
+
+        ``slots`` is the per-live-replication total slot count at retirement
+        (the truncated end of the finishing window for solved runs, the cap
+        boundary for unsolved ones).
+        """
+        idx = self.orig[mask]
+        out.solved[idx] = solved
+        out.makespan[idx] = slots[mask] if solved else 0
+        out.slots[idx] = slots[mask]
+        out.successes[idx] = self.successes[mask]
+        out.collisions[idx] = self.collisions[mask]
+        out.silences[idx] = self.silences[mask]
+        out.windows[idx] = self.windows[mask]
+        keep = ~mask
+        self.orig = self.orig[keep]
+        self.remaining = self.remaining[keep]
+        self.successes = self.successes[keep]
+        self.collisions = self.collisions[keep]
+        self.silences = self.silences[keep]
+        self.windows = self.windows[keep]
+
+
+@register_engine
+class BatchWindowEngine:
+    """Simulate all replications of a windowed-protocol cell in numpy lockstep."""
+
+    name = "batch-window"
+
+    #: Batched engine for windowed protocols on the paper's channel: no
+    #: traces (windows are classified in bulk), no arrivals (the shared
+    #: window schedule assumes every station starts at slot 0).  Eligibility
+    #: of a *specific* protocol instance is :meth:`supports`.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"windowed"}),
+        batched=True,
+        cost_rank=50,
+    )
+
+    def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
+        self.channel = check_engine_channel(type(self), channel)
+        self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
+
+    # ------------------------------------------------------------ eligibility
+    @classmethod
+    def supports(cls, protocol: Protocol) -> bool:
+        """Whether ``protocol`` can be simulated by the windowed batch engine.
+
+        The per-protocol half of eligibility, layered by the registry's
+        :func:`~repro.engine.registry.batch_engine_for` on top of the
+        declared :class:`EngineCapabilities`: the protocol must declare the
+        windowed kind *and* opt in with a shared schedule state.  A windowed
+        protocol that does not override
+        :meth:`~repro.protocols.base.WindowedProtocol.make_window_batch_state`
+        silently takes the per-run path in sweeps.
+        """
+        if getattr(protocol, "protocol_kind", "generic") not in cls.capabilities.protocol_kinds:
+            return False
+        return protocol.make_window_batch_state(1) is not None
+
+    # ----------------------------------------------------------------- public
+    def simulate(
+        self,
+        protocol: WindowedProtocol,
+        k: int,
+        seed: int = 0,
+        max_slots: int | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> SimulationResult:
+        """Run one instance as a batch of size one (the common engine API).
+
+        Single runs gain nothing from vectorisation — use
+        :meth:`simulate_batch` for whole cells; this method exists so the
+        ``engine="batch-window"`` selector works through the normal front
+        door.
+        """
+        if trace is not None:
+            raise ValueError(
+                "BatchWindowEngine does not collect traces (windows are classified "
+                "in bulk, not slot records); use WindowEngine for traced runs"
+            )
+        return self.simulate_batch(protocol, k, [seed], max_slots=max_slots)[0]
+
+    def simulate_batch(
+        self,
+        protocol: WindowedProtocol,
+        k: int,
+        seeds: Sequence[int],
+        max_slots: int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate ``len(seeds)`` independent replications of one cell.
+
+        Returns one :class:`SimulationResult` per seed, in order.  The seeds
+        jointly key the batch's random stream (the i-th result is *not* the
+        run :class:`WindowEngine` would produce from ``seeds[i]``; the batch
+        is a different — distributionally identical — sampling of the
+        process).
+        """
+        check_positive_int("k", k)
+        if not isinstance(protocol, WindowedProtocol):
+            raise TypeError(
+                f"BatchWindowEngine requires a WindowedProtocol, got {type(protocol).__name__}"
+            )
+        seed_list = [int(seed) for seed in seeds]
+        if not seed_list:
+            raise ValueError("simulate_batch needs at least one seed")
+        state = protocol.make_window_batch_state(len(seed_list))
+        if state is None:
+            raise ValueError(
+                f"{type(protocol).__name__} provides no shared window schedule "
+                "(make_window_batch_state returned None); use WindowEngine instead"
+            )
+        cap = max_slots if max_slots is not None else self.max_slots_factor * k
+        rng = np.random.default_rng(np.random.SeedSequence(seed_list))
+
+        live = _LiveWindowBatch(k, len(seed_list))
+        out = _WindowBatchAccumulator.empty(len(seed_list))
+        self._run(protocol, state.lengths, live, out, cap, rng)
+
+        return [
+            SimulationResult(
+                solved=bool(out.solved[index]),
+                makespan=int(out.makespan[index]) if out.solved[index] else None,
+                k=k,
+                slots_simulated=int(out.slots[index]),
+                successes=int(out.successes[index]),
+                collisions=int(out.collisions[index]),
+                silences=int(out.silences[index]),
+                protocol=protocol.name,
+                engine=self.name,
+                seed=seed_list[index],
+                metadata={
+                    "batch_reps": len(seed_list),
+                    "windows": int(out.windows[index]),
+                },
+            )
+            for index in range(len(seed_list))
+        ]
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _saturated(length: int, m_min: int) -> bool:
+        """Whether every bin surely holds >= 2 balls (see :data:`_SATURATED_BOUND`).
+
+        Evaluates the exact union bound over the ``length`` bins at the
+        *smallest* live replication's ball count (the bound is decreasing in
+        ``m``, so it covers every row).  ``length == 1`` with ``m >= 2`` is
+        the degenerate certain collision.
+        """
+        if m_min < 2 * length:  # deliveries plainly possible; skip the math
+            return False
+        if length == 1:
+            return m_min >= 2
+        log_keep_out = math.log1p(-1.0 / length)  # log P(one ball misses a bin)
+        p_empty = math.exp(m_min * log_keep_out)
+        p_singleton = (m_min / length) * math.exp((m_min - 1) * log_keep_out)
+        return length * (p_empty + p_singleton) < _SATURATED_BOUND
+
+    @staticmethod
+    def _occupancy(
+        rng: np.random.Generator, remaining: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Sample the (rows × length) multinomial occupancy matrix.
+
+        Narrow windows (many balls per bin) sample each row's bin counts
+        directly — O(length) binomial draws per replication; wide windows
+        throw the balls explicitly — one bounded draw per ball in the
+        narrowest sufficient dtype, offset per row so one ``bincount``
+        builds the whole matrix.
+        """
+        live = remaining.size
+        if length * _MULTINOMIAL_RATIO < int(remaining.mean()):
+            return rng.multinomial(remaining, np.full(length, 1.0 / length))
+        if length <= np.iinfo(np.uint16).max:
+            dtype = np.uint16
+        elif length <= np.iinfo(np.uint32).max:
+            dtype = np.uint32
+        else:
+            dtype = np.int64
+        choices = rng.integers(0, length, size=int(remaining.sum()), dtype=dtype)
+        if live * length <= np.iinfo(np.int32).max:
+            rows = np.repeat(np.arange(live, dtype=np.int32), remaining)
+            keys = rows * np.int32(length) + choices.astype(np.int32, copy=False)
+        else:
+            rows = np.repeat(np.arange(live, dtype=np.int64), remaining)
+            keys = rows * length + choices
+        return np.bincount(keys, minlength=live * length).reshape(live, length)
+
+    def _window_outcomes(
+        self,
+        rng: np.random.Generator,
+        remaining: np.ndarray,
+        length: int,
+        window_start: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Classify one window for every live replication, in bounded memory.
+
+        Returns per-replication ``(delivered, collisions, silences,
+        end_slot)``; ``end_slot`` is the truncated end of the window for the
+        replications it finishes (their makespan) and the full window end for
+        everyone else.  Rows are processed in chunks bounded both in
+        occupancy cells (rows × window slots) and in thrown balls (rows ×
+        remaining messages) by :data:`_MAX_WINDOW_CELLS`, so neither the
+        occupancy matrix nor the ball-throw scratch arrays scale with the
+        network size.
+        """
+        live = remaining.size
+        delivered = np.empty(live, dtype=np.int64)
+        collisions = np.empty(live, dtype=np.int64)
+        silences = np.empty(live, dtype=np.int64)
+        end_slot = np.full(live, window_start + length, dtype=np.int64)
+        mean_balls = max(1, int(remaining.mean()))
+        chunk = max(1, min(_MAX_WINDOW_CELLS // length, _MAX_WINDOW_CELLS // mean_balls))
+        for start in range(0, live, chunk):
+            stop = min(start + chunk, live)
+            occupancy = self._occupancy(rng, remaining[start:stop], length)
+            singles = occupancy == 1
+            chunk_delivered = singles.sum(axis=1, dtype=np.int64)
+            occupied = np.count_nonzero(occupancy, axis=1)
+            chunk_collisions = occupied - chunk_delivered
+            chunk_silences = length - occupied
+            finishing = chunk_delivered == remaining[start:stop]
+            if finishing.any():
+                # Replications solved by this window stop at their final
+                # delivery: truncate the trailing slots (mirroring the
+                # per-run window engine) so counters agree with the
+                # node-level reference.
+                singles_f = singles[finishing]
+                occ_f = occupancy[finishing]
+                last = length - 1 - np.argmax(singles_f[:, ::-1], axis=1)
+                pick = np.arange(occ_f.shape[0])
+                chunk_collisions[finishing] = np.cumsum(occ_f >= 2, axis=1)[pick, last]
+                chunk_silences[finishing] = np.cumsum(occ_f == 0, axis=1)[pick, last]
+                end_slot[start:stop][finishing] = window_start + last + 1
+            delivered[start:stop] = chunk_delivered
+            collisions[start:stop] = chunk_collisions
+            silences[start:stop] = chunk_silences
+        return delivered, collisions, silences, end_slot
+
+    def _run(
+        self,
+        protocol: WindowedProtocol,
+        schedule,
+        live: _LiveWindowBatch,
+        out: _WindowBatchAccumulator,
+        cap: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Window-by-window lockstep: every live replication shares the window."""
+        window_start = 0
+        while live.size:
+            if window_start >= cap:
+                live.retire(
+                    np.ones(live.size, dtype=bool),
+                    out,
+                    solved=False,
+                    slots=np.full(live.size, window_start, dtype=np.int64),
+                )
+                break
+            try:
+                length = int(next(schedule))
+            except StopIteration as error:
+                raise RuntimeError(
+                    f"{type(protocol).__name__}: window schedule exhausted with "
+                    f"{live.size} replications unsolved"
+                ) from error
+            if length < 1:
+                raise ValueError(f"window length must be >= 1, got {length}")
+
+            if self._saturated(length, int(live.remaining.min())):
+                # Saturated window: every bin holds >= 2 balls (probability
+                # of anything else is below double-precision resolution), so
+                # every slot is a collision, nothing is delivered, and no
+                # replication can finish.
+                live.collisions += length
+                live.windows += 1
+                window_start += length
+                continue
+
+            delivered, collisions, silences, end_slot = self._window_outcomes(
+                rng, live.remaining, length, window_start
+            )
+            finishing = delivered == live.remaining
+            live.successes += delivered
+            live.collisions += collisions
+            live.silences += silences
+            live.windows += 1
+            live.remaining -= delivered
+            if finishing.any():
+                live.retire(finishing, out, solved=True, slots=end_slot)
+            window_start += length

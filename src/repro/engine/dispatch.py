@@ -2,13 +2,19 @@
 
 Most callers (examples, experiments, tests) just want "run protocol P with k
 contenders and seed s"; :func:`simulate` picks the cheapest engine that is
-exact for the given protocol class and returns a
+exact for the given protocol and returns a
 :class:`~repro.engine.result.SimulationResult`.
+
+Every selection decision here is a query against the capability-driven
+:mod:`repro.engine.registry`: engines declare what they can serve (protocol
+kinds, channels, arrivals, batching, traces) and protocols declare their
+kind, so this module holds **no** eligibility logic of its own — it resolves
+names through the registry and instantiates the chosen engine class.
 
 Dynamic workloads go through the same front door: passing an
 ``arrivals=`` process (e.g. :class:`~repro.channel.arrivals.PoissonArrival`)
-routes the run to the node-level :class:`SlotEngine`, the only engine whose
-semantics cover staggered arrivals, so the runner, CLI and sweep machinery
+routes the run to the node-level :class:`SlotEngine` — the only registered
+engine declaring arrival support — so the runner, CLI and sweep machinery
 need no special-casing for the paper's open dynamic problem.
 """
 
@@ -19,31 +25,37 @@ from collections.abc import Sequence
 from repro.channel.arrivals import ArrivalProcess
 from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
-from repro.engine.batch_engine import BatchFairEngine
-from repro.engine.fair_engine import FairEngine
+
+# Importing the engine modules registers each engine with the registry.
+from repro.engine.batch_engine import BatchFairEngine  # noqa: F401  (registration)
+from repro.engine.batch_window_engine import BatchWindowEngine  # noqa: F401
+from repro.engine.fair_engine import FairEngine  # noqa: F401
+from repro.engine.registry import (
+    available_engines,
+    batch_engine_for,
+    engine_capabilities,
+    engine_class,
+    engines_for,
+    pick_engine_name,
+)
 from repro.engine.result import SimulationResult
-from repro.engine.slot_engine import SlotEngine
-from repro.engine.window_engine import WindowEngine
-from repro.protocols.base import FairProtocol, Protocol, WindowedProtocol
+from repro.engine.slot_engine import SlotEngine  # noqa: F401
+from repro.engine.window_engine import WindowEngine  # noqa: F401
+from repro.protocols.base import Protocol
 
-__all__ = ["available_engines", "pick_engine", "simulate", "simulate_batch"]
+__all__ = [
+    "available_engines",
+    "batch_engine_for",
+    "engine_capabilities",
+    "pick_engine",
+    "simulate",
+    "simulate_batch",
+]
 
-_ENGINES = {
-    "slot": SlotEngine,
-    "fair": FairEngine,
-    "window": WindowEngine,
-    "batch": BatchFairEngine,
-}
 
-
-def available_engines() -> list[str]:
-    """Valid ``engine=`` selectors: ``"auto"`` plus every registered engine.
-
-    This is the single source of truth for engine choices — the CLI and the
-    scenario layer derive their accepted values from it, so adding an engine
-    to ``_ENGINES`` propagates everywhere.
-    """
-    return ["auto", *sorted(_ENGINES)]
+def _instantiate(name: str, channel: ChannelModel | None):
+    cls = engine_class(name)
+    return cls(channel=channel) if channel is not None else cls()
 
 
 def pick_engine(
@@ -54,45 +66,30 @@ def pick_engine(
 ):
     """Instantiate the engine to use for ``protocol``.
 
-    ``engine`` may be ``"auto"`` (default) or one of ``"slot"``, ``"fair"``,
-    ``"window"``, ``"batch"``.  ``"auto"`` selects the cheapest engine that is
-    exact for the protocol's class: the fair engine for fair protocols, the
-    window engine for windowed protocols, and the node-level engine otherwise
-    (or whenever a non-default channel model is requested, since the
-    specialised engines only implement the paper's channel).
+    ``engine`` may be ``"auto"`` (default) or any name from
+    :func:`~repro.engine.registry.available_engines`.  ``"auto"`` selects
+    the cheapest registered engine whose declared capabilities are exact for
+    the protocol's kind, the channel and the arrival process — the fair
+    engine for fair protocols, the window engine for windowed protocols, and
+    the node-level engine otherwise (or whenever a non-default channel or an
+    arrival process is requested, since the reduced engines only implement
+    the paper's channel with slot-0 arrivals).
 
-    ``"auto"`` never selects the batch engine: for a *single* run the batch
+    ``"auto"`` never selects a *batched* engine: for a single run the batch
     reduction has nothing to vectorise, and only the per-run engines collect
     traces.  Sweeps are where batching pays off —
     :func:`repro.experiments.runner.run_sweep` groups a cell's replications
-    into one :func:`simulate_batch` call whenever the protocol is eligible.
+    into one :func:`simulate_batch` call whenever
+    :func:`~repro.engine.registry.batch_engine_for` reports an eligible
+    batch engine.
 
-    When an explicit ``arrivals`` process is given the node-level engine is
-    mandatory — the fair, window and batch reductions assume every station
-    starts at slot 0 — so ``engine`` must be ``"auto"`` or ``"slot"``.
+    Explicit choices are validated against the registry: an unknown name, an
+    engine that cannot serve the requested channel or arrival process, or an
+    engine whose declared protocol kinds exclude this protocol are all
+    rejected with the capable engines enumerated.
     """
-    if arrivals is not None and engine not in ("auto", "slot"):
-        raise ValueError(
-            f"engine {engine!r} does not support arrival processes; only the "
-            "node-level 'slot' engine simulates staggered arrivals"
-        )
-    if engine != "auto":
-        try:
-            engine_cls = _ENGINES[engine]
-        except KeyError:
-            raise ValueError(
-                f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
-            ) from None
-        return engine_cls(channel=channel) if channel is not None else engine_cls()
-    if arrivals is not None:
-        return SlotEngine(channel=channel) if channel is not None else SlotEngine()
-
-    default_channel = channel is None or channel == ChannelModel()
-    if default_channel and isinstance(protocol, FairProtocol):
-        return FairEngine(channel=channel) if channel is not None else FairEngine()
-    if default_channel and isinstance(protocol, WindowedProtocol):
-        return WindowEngine(channel=channel) if channel is not None else WindowEngine()
-    return SlotEngine(channel=channel) if channel is not None else SlotEngine()
+    name = pick_engine_name(protocol, engine=engine, channel=channel, arrivals=arrivals)
+    return _instantiate(name, channel)
 
 
 def simulate(
@@ -140,16 +137,37 @@ def simulate_batch(
     protocol: Protocol,
     k: int,
     seeds: Sequence[int],
+    engine: str = "auto",
     channel: ChannelModel | None = None,
     max_slots: int | None = None,
 ) -> list[SimulationResult]:
     """Simulate many replications of one (protocol, k) cell in a single batch.
 
-    Front door to :class:`~repro.engine.batch_engine.BatchFairEngine` for
-    callers holding a whole cell's seeds (the sweep runner, benchmarks).  The
-    protocol must be batch-eligible (see :meth:`BatchFairEngine.supports`);
-    callers that need a silent fallback check eligibility first and route
+    Front door to the *batched* engines for callers holding a whole cell's
+    seeds (the sweep runner, benchmarks).  The registry's
+    :func:`~repro.engine.registry.batch_engine_for` — the repository's one
+    batch-eligibility predicate — selects the batch engine that can serve
+    the cell (``BatchFairEngine`` for fair protocols,
+    ``BatchWindowEngine`` for windowed ones); callers that need a silent
+    fallback check eligibility with the same query first and route
     ineligible cells through per-run :func:`simulate` calls.
     """
-    engine = BatchFairEngine(channel=channel) if channel is not None else BatchFairEngine()
-    return engine.simulate_batch(protocol, k, seeds, max_slots=max_slots)
+    name = batch_engine_for(protocol, engine=engine, channel=channel)
+    if name is None:
+        # Diagnose precisely: an unknown or per-run selector is a selector
+        # problem, not a missing kernel.  engine_capabilities raises the
+        # enumerating unknown-engine error for typos.
+        if engine != "auto" and not engine_capabilities(engine).batched:
+            raise ValueError(
+                f"engine {engine!r} is not a batched engine; batched engines: "
+                f"{engines_for(batched=True)} (or 'auto')"
+            )
+        raise ValueError(
+            f"no batch engine can serve {type(protocol).__name__} "
+            f"(kind {getattr(protocol, 'protocol_kind', 'generic')!r}) with "
+            f"engine={engine!r} and channel={channel!r}; batch-eligible protocols "
+            "declare a vectorised kernel via make_batch_state / "
+            "make_window_batch_state and run on the paper's channel"
+        )
+    chosen = _instantiate(name, channel)
+    return chosen.simulate_batch(protocol, k, seeds, max_slots=max_slots)

@@ -28,8 +28,9 @@ Which station delivers in a successful slot is irrelevant for the makespan
 
 from __future__ import annotations
 
-from repro.channel.model import ChannelModel, FeedbackModel, Observation, SlotOutcome
+from repro.channel.model import ChannelModel, Observation, SlotOutcome
 from repro.channel.trace import ExecutionTrace, SlotRecord
+from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
 from repro.engine.result import SimulationResult
 from repro.protocols.base import FairProtocol
 from repro.util.rng import RandomSource
@@ -45,20 +46,23 @@ __all__ = ["FairEngine"]
 _DRAW_BLOCK = 1024
 
 
+@register_engine
 class FairEngine:
     """Simulate a :class:`FairProtocol` with one random draw per slot."""
 
     name = "fair"
 
+    #: Fair protocols on the paper's channel, one draw per slot; collects
+    #: traces, so it is the per-run *and* the traced engine for fair
+    #: protocols.  Cheapest rank: ``"auto"`` prefers it whenever it is exact.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"fair"}),
+        traces=True,
+        cost_rank=10,
+    )
+
     def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
-        self.channel = channel if channel is not None else ChannelModel()
-        if self.channel.feedback is not FeedbackModel.NO_COLLISION_DETECTION:
-            raise ValueError(
-                "FairEngine models the paper's channel (no collision detection); "
-                "use SlotEngine for other feedback models"
-            )
-        if not self.channel.acknowledgements:
-            raise ValueError("FairEngine requires acknowledgements (the paper's model)")
+        self.channel = check_engine_channel(type(self), channel)
         self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
 
     def simulate(

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.channel.model import ChannelModel, FeedbackModel, SlotOutcome
+from repro.channel.model import ChannelModel, SlotOutcome
 from repro.channel.trace import ExecutionTrace, SlotRecord
+from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
 from repro.engine.result import SimulationResult
 from repro.protocols.base import WindowedProtocol
 from repro.util.validation import check_positive_int
@@ -25,20 +26,22 @@ from repro.util.validation import check_positive_int
 __all__ = ["WindowEngine"]
 
 
+@register_engine
 class WindowEngine:
     """Simulate a :class:`WindowedProtocol` one contention window at a time."""
 
     name = "window"
 
+    #: Windowed protocols on the paper's channel, one balls-in-bins
+    #: experiment per contention window; collects traces.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"windowed"}),
+        traces=True,
+        cost_rank=10,
+    )
+
     def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
-        self.channel = channel if channel is not None else ChannelModel()
-        if self.channel.feedback is not FeedbackModel.NO_COLLISION_DETECTION:
-            raise ValueError(
-                "WindowEngine models the paper's channel (no collision detection); "
-                "use SlotEngine for other feedback models"
-            )
-        if not self.channel.acknowledgements:
-            raise ValueError("WindowEngine requires acknowledgements (the paper's model)")
+        self.channel = check_engine_channel(type(self), channel)
         self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
 
     def simulate(

@@ -75,7 +75,9 @@ class SimulationUnit:
     seeds:
         When set, the unit is a *batch*: all listed replications run in one
         :func:`~repro.engine.dispatch.simulate_batch` call (``seed`` and
-        ``arrivals`` are ignored; the protocol must be batch-eligible).
+        ``arrivals`` are ignored; the protocol must be batch-eligible, and
+        ``engine`` selects among the batched engines — ``"auto"`` resolves
+        through the registry's batch-eligibility query).
     """
 
     protocol: Protocol
@@ -126,6 +128,7 @@ def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
             unit.protocol,
             unit.k,
             unit.seeds,
+            engine=unit.engine,
             channel=unit.channel,
             max_slots=unit.max_slots,
         )

@@ -12,10 +12,13 @@ Since the declarative scenario API landed, :func:`run_sweep` is a thin
 one frozen :class:`~repro.scenarios.scenario.Scenario`, and the whole grid is
 executed by a :class:`~repro.scenarios.session.Session` — which fans cells out
 over a :class:`~repro.experiments.parallel.ParallelExecutor`, groups
-batch-eligible cells into one vectorised
-:class:`~repro.engine.batch_engine.BatchFairEngine` call each, and (when
-``store_dir`` is given) persists every replication to a JSONL store so an
-interrupted sweep resumes with only the missing cells executed.
+batch-eligible cells into one vectorised batch-engine call each (the
+registry's :func:`~repro.engine.registry.batch_engine_for` picks
+:class:`~repro.engine.batch_engine.BatchFairEngine` for fair cells and
+:class:`~repro.engine.batch_window_engine.BatchWindowEngine` for windowed
+ones), and (when ``store_dir`` is given) persists every replication to a
+JSONL store so an interrupted sweep resumes with only the missing cells
+executed.
 
 Cell seeds are derived *before* dispatch, exactly as the serial path always
 derived them, so ``workers=N`` produces bit-identical cells to ``workers=1``,
@@ -37,7 +40,7 @@ from pathlib import Path
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.channel.arrivals import ArrivalProcess
-from repro.engine.batch_engine import BatchFairEngine
+from repro.engine.registry import batch_engine_for
 from repro.engine.result import SimulationResult
 from repro.experiments.config import ExperimentConfig, ProtocolSpec
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
@@ -189,9 +192,11 @@ def run_sweep(
         dynamic cells).
     batch:
         Whether eligible cells run as one vectorised batch; defaults to
-        ``config.batch``.  Ineligible cells (non-fair protocols, protocols
-        without a vectorised state, custom arrivals, explicit per-run
-        ``engine`` selectors) silently take the per-run path either way.
+        ``config.batch``.  Eligibility is the registry's
+        :func:`~repro.engine.registry.batch_engine_for`; ineligible cells
+        (protocols without a vectorised kernel, custom arrivals, explicit
+        per-run ``engine`` selectors) silently take the per-run path either
+        way.
     store_dir:
         Optional Session store directory.  When given, every replication is
         persisted there and completed cells are served from the store on
@@ -273,16 +278,18 @@ def _legacy_cell_units(
     effective_batch: bool,
     arrivals_factory: Callable[[int], ArrivalProcess] | None,
 ) -> list[SimulationUnit]:
-    """Work units for one factory-only (or arrivals-factory) cell."""
+    """Work units for one factory-only (or arrivals-factory) cell.
+
+    Batch eligibility is the registry's
+    :func:`~repro.engine.registry.batch_engine_for` — the same single
+    predicate the scenario layer uses — so factory-only cells batch exactly
+    when their spec-string siblings would.
+    """
     seeds = derive_seeds(seed_root, config.runs)
     arrivals = arrivals_factory(k) if arrivals_factory is not None else None
     protocol = spec.build(k)
-    batch_cell = (
-        (effective_batch or engine == "batch")
-        and engine in ("auto", "batch")
-        and arrivals is None
-        and BatchFairEngine.supports(protocol)
-    )
+    batch_engine = batch_engine_for(protocol, engine=engine, arrivals=arrivals)
+    batch_cell = batch_engine is not None and (effective_batch or engine == batch_engine)
     if batch_cell:
         return [
             SimulationUnit(

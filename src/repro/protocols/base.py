@@ -43,6 +43,7 @@ __all__ = [
     "FairProtocol",
     "FairBatchState",
     "WindowedProtocol",
+    "WindowBatchState",
     "ProtocolFactory",
     "register_protocol",
     "get_protocol_class",
@@ -125,6 +126,15 @@ class Protocol(abc.ABC):
 
     #: Human-readable label used in figures and tables.
     label: ClassVar[str] = "Protocol"
+
+    #: Capability kind consumed by the engine registry
+    #: (:mod:`repro.engine.registry`): engines declare which kinds they can
+    #: serve, so dispatch never has to sniff protocol classes.  The two
+    #: structural refinements below override this — ``"fair"`` for
+    #: :class:`FairProtocol`, ``"windowed"`` for :class:`WindowedProtocol` —
+    #: and everything else is ``"generic"`` (served only by the node-level
+    #: engine).
+    protocol_kind: ClassVar[str] = "generic"
 
     #: External knowledge the protocol needs (subset of {"k", "n", "epsilon"}).
     #: The paper's own protocols use the empty set — that is the point of the
@@ -238,6 +248,8 @@ class FairProtocol(Protocol):
     identically.
     """
 
+    protocol_kind: ClassVar[str] = "fair"
+
     #: Fair-engine contract flag; subclasses that (incorrectly for this class)
     #: update state based on their own transmissions must set this to True so
     #: the fair engine refuses them.
@@ -279,6 +291,27 @@ class FairProtocol(Protocol):
         return bool(rng.random() < probability)
 
 
+class WindowBatchState:
+    """Window schedule shared by many lockstep replications of a windowed protocol.
+
+    The windowed batch engine
+    (:class:`~repro.engine.batch_window_engine.BatchWindowEngine`) simulates
+    all R replications of a (protocol, k) cell window by window; every
+    replication traverses the *same* deterministic window schedule, so —
+    unlike :class:`FairBatchState`, whose per-replication estimators evolve
+    with each replication's own feedback — the whole batch's state is one
+    shared schedule iterator.  A windowed protocol whose schedule *reacted*
+    to channel feedback would need genuinely per-replication state and must
+    not return one of these; that is why
+    :meth:`WindowedProtocol.make_window_batch_state` defaults to ``None``
+    and every schedule-oblivious protocol opts in explicitly.
+    """
+
+    def __init__(self, lengths: Iterator[int]) -> None:
+        #: The successive window lengths, in slots (strictly positive ints).
+        self.lengths = lengths
+
+
 class WindowedProtocol(Protocol):
     """Protocol that transmits once per contention window.
 
@@ -296,9 +329,26 @@ class WindowedProtocol(Protocol):
     experiment.
     """
 
+    protocol_kind: ClassVar[str] = "windowed"
+
     @abc.abstractmethod
     def window_lengths(self) -> Iterator[int]:
         """Yield the successive contention-window lengths (in slots)."""
+
+    def make_window_batch_state(self, reps: int) -> WindowBatchState | None:
+        """Return the shared schedule state for ``reps`` lockstep replications.
+
+        ``None`` (the default) opts the protocol out of the windowed batch
+        engine; sweeps then fall back to one per-run
+        :class:`~repro.engine.window_engine.WindowEngine` simulation per
+        seed.  Overriding implementations declare that the window schedule is
+        *oblivious*: a pure function of the window index, never of channel
+        feedback — exactly the contract under which simulating replications
+        in lockstep against one shared schedule is sound.  All of the
+        repository's windowed protocols (Algorithm 2 and the monotone
+        back-off family) qualify and opt in.
+        """
+        return None
 
     def reset(self) -> None:
         self._schedule: Iterator[int] | None = None

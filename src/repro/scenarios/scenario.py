@@ -41,7 +41,7 @@ from pathlib import Path
 
 from repro.channel.arrivals import ArrivalProcess, build_arrivals, get_arrival_class
 from repro.channel.model import ChannelModel, build_channel
-from repro.engine.dispatch import available_engines
+from repro.engine.registry import available_engines, engine_capabilities, engines_for
 from repro.protocols.base import Protocol, build_protocol, get_protocol_class
 from repro.scenarios.spec import SpecError, canonical_spec, parse_spec, parse_value, split_top_level
 from repro.util.rng import derive_seeds
@@ -129,10 +129,14 @@ class Scenario:
         arrivals_name, _ = parse_spec(self.arrivals)
         get_arrival_class(arrivals_name)
         build_channel(self.channel)
-        if self.arrivals_name != "batch" and self.engine not in ("auto", "slot"):
+        if (
+            self.arrivals_name != "batch"
+            and self.engine != "auto"
+            and not engine_capabilities(self.engine).arrivals
+        ):
             raise ValueError(
                 f"engine {self.engine!r} does not support arrival processes; "
-                "use engine='auto' or 'slot' with dynamic arrivals"
+                f"engines that do: {engines_for(arrivals=True)} (or 'auto')"
             )
 
     # ------------------------------------------------------------ components

@@ -8,8 +8,11 @@ repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
    **zero** new simulations);
 2. plans exactly the missing replications as
    :class:`~repro.experiments.parallel.SimulationUnit` work units — one
-   vectorised :class:`~repro.engine.batch_engine.BatchFairEngine` unit per
-   batch-eligible cell, per-replication units otherwise;
+   vectorised batch unit per batch-eligible cell (the registry's
+   :func:`~repro.engine.registry.batch_engine_for` names the batch engine:
+   :class:`~repro.engine.batch_engine.BatchFairEngine` for fair cells,
+   :class:`~repro.engine.batch_window_engine.BatchWindowEngine` for windowed
+   ones), per-replication units otherwise;
 3. fans the units out over a
    :class:`~repro.experiments.parallel.ParallelExecutor` (cells across
    processes, replications vectorised within); and
@@ -42,7 +45,6 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
-from repro.engine.batch_engine import BatchFairEngine
 from repro.engine.result import SimulationResult
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
 from repro.scenarios.scenario import Scenario
@@ -324,10 +326,11 @@ class Session:
         }
         if plan.use_batch:
             # A batch cell's results depend on the whole batch composition
-            # (one interleaved stream per BatchFairEngine call), so stored
-            # runs are reusable only when they come from a batch of exactly
-            # this replication count — anything else is recomputed in full so
-            # a resumed run is bit-identical to a fresh one.
+            # (one interleaved stream per batch-engine call, fair and
+            # windowed alike), so stored runs are reusable only when they
+            # come from the same engine and a batch of exactly this
+            # replication count — anything else is recomputed in full so a
+            # resumed run is bit-identical to a fresh one.
             usable = {
                 replication: run
                 for replication, run in usable.items()
@@ -338,25 +341,31 @@ class Session:
         return usable
 
     def _plan(self, scenario: Scenario) -> "_CellPlan":
-        """Resolve a scenario's components and the engine this session will use."""
-        from repro.engine.dispatch import pick_engine
+        """Resolve a scenario's components and the engine this session will use.
+
+        Batch eligibility and engine selection are both registry queries
+        (:func:`~repro.engine.registry.batch_engine_for` /
+        :func:`~repro.engine.registry.pick_engine_name`) — the same single
+        predicate the sweep runner and the ``simulate_batch`` front door use,
+        so the three layers cannot disagree about a cell's engine.
+        """
+        from repro.engine.registry import batch_engine_for, pick_engine_name
 
         protocol = scenario.build_protocol()
         arrivals = scenario.build_arrivals()
         channel = scenario.build_channel()
-        use_batch = (
-            (self.batch or scenario.engine == "batch")
-            and scenario.engine in ("auto", "batch")
-            and arrivals is None
-            and channel is None
-            and BatchFairEngine.supports(protocol)
+        batch_engine = batch_engine_for(
+            protocol, engine=scenario.engine, channel=channel, arrivals=arrivals
         )
+        # An explicitly selected batch engine always batches; "auto" batches
+        # only when this session says so.
+        use_batch = batch_engine is not None and (self.batch or scenario.engine == batch_engine)
         if use_batch:
-            expected_engine = BatchFairEngine.name
+            expected_engine = batch_engine
         else:
-            expected_engine = pick_engine(
+            expected_engine = pick_engine_name(
                 protocol, engine=scenario.engine, channel=channel, arrivals=arrivals
-            ).name
+            )
         return _CellPlan(
             protocol=protocol,
             arrivals=arrivals,

@@ -299,9 +299,13 @@ class TestSweepEligibility:
         sweep = run_sweep([spec], _sweep_config(batch=False))
         assert all(result.engine == "fair" for result in sweep.cell("ofa", 40).results)
 
-    def test_non_fair_protocol_falls_back(self):
+    def test_non_fair_protocol_routes_to_its_own_batch_engine(self):
+        # Windowed protocols are no longer "ineligible": the registry routes
+        # them to the windowed batch engine instead of the fair one.
         spec = ProtocolSpec(key="ebb", label="EBB", factory=lambda k: ExpBackonBackoff())
         sweep = run_sweep([spec], _sweep_config())
+        assert all(result.engine == "batch-window" for result in sweep.cell("ebb", 40).results)
+        sweep = run_sweep([spec], _sweep_config(batch=False))
         assert all(result.engine == "window" for result in sweep.cell("ebb", 40).results)
 
     def test_fair_protocol_without_kernel_falls_back(self):
@@ -361,4 +365,4 @@ class TestSweepEligibility:
         ]
         sweep = run_sweep(specs, _sweep_config())
         assert all(result.engine == "batch" for result in sweep.cell("ofa", 40).results)
-        assert all(result.engine == "window" for result in sweep.cell("ebb", 40).results)
+        assert all(result.engine == "batch-window" for result in sweep.cell("ebb", 40).results)

@@ -15,6 +15,9 @@ slot of a window — so these tests pin the shared contract for all engines:
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.channel.model import SlotOutcome
@@ -24,15 +27,38 @@ from repro.core.one_fail_adaptive import OneFailAdaptive
 from repro.engine.fair_engine import FairEngine
 from repro.engine.slot_engine import SlotEngine
 from repro.engine.window_engine import WindowEngine
+from repro.protocols.backoff import (
+    ExponentialBackoff,
+    LogBackoff,
+    LogLogIteratedBackoff,
+    PolynomialBackoff,
+)
 
 #: (engine factory, protocol factory) pairs: each engine with a protocol it
-#: supports.  The slot engine is the reference; the other two must match its
-#: structure on both protocol classes they specialise.
+#: supports.  The slot engine is the reference; the reduced engines must
+#: match its structure on every protocol class they specialise — the fair
+#: engine on the fair kind, the window engine on Exp Back-on/Back-off and
+#: the whole monotone back-off family.
 ENGINE_CASES = [
     pytest.param(SlotEngine, OneFailAdaptive, id="slot-ofa"),
     pytest.param(SlotEngine, ExpBackonBackoff, id="slot-ebb"),
     pytest.param(FairEngine, OneFailAdaptive, id="fair-ofa"),
     pytest.param(WindowEngine, ExpBackonBackoff, id="window-ebb"),
+    pytest.param(WindowEngine, ExponentialBackoff, id="window-exp"),
+    pytest.param(WindowEngine, PolynomialBackoff, id="window-poly"),
+    pytest.param(WindowEngine, LogBackoff, id="window-log"),
+    pytest.param(WindowEngine, LogLogIteratedBackoff, id="window-loglog"),
+    pytest.param(SlotEngine, LogLogIteratedBackoff, id="slot-loglog"),
+]
+
+#: The windowed protocols whose window-engine reduction is validated
+#: distributionally against the node-level reference below.
+WINDOWED_PROTOCOLS = [
+    pytest.param(ExpBackonBackoff, id="ebb"),
+    pytest.param(ExponentialBackoff, id="exp"),
+    pytest.param(PolynomialBackoff, id="poly"),
+    pytest.param(LogBackoff, id="log"),
+    pytest.param(LogLogIteratedBackoff, id="loglog"),
 ]
 
 SEEDS = [0, 1, 7]
@@ -74,6 +100,42 @@ class TestSolvedRunParity:
         engine_cls().simulate(protocol_cls(), K, seed=9, trace=trace)
         assert trace.records[-1].outcome is SlotOutcome.SUCCESS
         assert trace.records[-1].active_before == 1
+
+
+@pytest.mark.parametrize("protocol_cls", WINDOWED_PROTOCOLS)
+class TestWindowVsSlotDistributionalParity:
+    """Window-engine vs node-level makespans for the whole windowed roster.
+
+    The structural checks above pin the shape of what the engines report;
+    these pin the *distribution*: for Exp Back-on/Back-off and every member
+    of the monotone back-off family, the balls-in-bins reduction must sample
+    the same makespan distribution as simulating every station explicitly
+    (two-sample z-test on the means, 4-sigma threshold as in validation.py).
+    """
+
+    RUNS = 60
+    K = 32
+
+    def test_makespan_mean_matches_slot_engine(self, protocol_cls):
+        window = np.asarray(
+            [
+                WindowEngine().simulate(protocol_cls(), self.K, seed=seed).makespan
+                for seed in range(self.RUNS)
+            ],
+            dtype=float,
+        )
+        slot = np.asarray(
+            [
+                SlotEngine().simulate(protocol_cls(), self.K, seed=1_000 + seed).makespan
+                for seed in range(self.RUNS)
+            ],
+            dtype=float,
+        )
+        pooled = math.sqrt(window.var(ddof=1) / window.size + slot.var(ddof=1) / slot.size)
+        z_score = abs(window.mean() - slot.mean()) / pooled
+        assert z_score < 4.0, (
+            f"window mean {window.mean():.1f} vs slot mean {slot.mean():.1f} (z={z_score:.2f})"
+        )
 
 
 class TestWindowEngineTruncationRegression:

@@ -1,0 +1,207 @@
+"""Tests for the capability-driven engine registry.
+
+The registry is the single source of truth for dispatch: engines declare
+capabilities, protocols declare kinds, and `pick_engine_name` /
+`batch_engine_for` answer every "which engine serves this?" question.  The
+final class here pins the property the registry exists for — the scenario
+layer (`Session`), the sweep runner (`run_sweep`) and the dispatch front
+door agree on engine selection and batch eligibility for **every** protocol
+in the registry, because they all ask the same predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.arrivals import PoissonArrival
+from repro.channel.model import ChannelModel, FeedbackModel
+from repro.core.exp_backon_backoff import ExpBackonBackoff
+from repro.core.one_fail_adaptive import OneFailAdaptive
+from repro.engine.registry import (
+    EngineCapabilities,
+    EngineRegistry,
+    available_engines,
+    batch_engine_for,
+    engine_capabilities,
+    engine_class,
+    engine_names,
+    pick_engine_name,
+)
+from repro.experiments.config import ExperimentConfig, ProtocolSpec
+from repro.experiments.runner import run_sweep
+from repro.protocols.base import available_protocols, build_protocol
+from repro.protocols.splitting import BinarySplitting
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import Session
+
+CD_CHANNEL = ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION)
+
+
+class TestRegistryContents:
+    def test_available_engines_roster(self):
+        assert available_engines() == [
+            "auto", "batch", "batch-window", "fair", "slot", "window",
+        ]
+
+    def test_every_engine_declares_capabilities(self):
+        for name in engine_names():
+            caps = engine_capabilities(name)
+            assert isinstance(caps, EngineCapabilities)
+            assert engine_class(name).name == name
+
+    def test_declared_capability_matrix(self):
+        assert engine_capabilities("slot").protocol_kinds is None
+        assert engine_capabilities("slot").arrivals
+        assert engine_capabilities("fair").protocol_kinds == frozenset({"fair"})
+        assert engine_capabilities("window").protocol_kinds == frozenset({"windowed"})
+        assert engine_capabilities("batch").batched
+        assert engine_capabilities("batch-window").batched
+        assert not engine_capabilities("batch").traces
+        assert not engine_capabilities("batch-window").traces
+        for name in ("fair", "window", "batch", "batch-window"):
+            assert not engine_capabilities(name).arrivals
+
+    def test_unknown_engine_error_enumerates_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            engine_class("quantum")
+        for name in engine_names():
+            assert name in str(excinfo.value)
+
+    def test_registration_validates_declarations(self):
+        registry = EngineRegistry()
+
+        class NoCaps:
+            name = "no-caps"
+
+        with pytest.raises(ValueError, match="capabilities"):
+            registry.register(NoCaps)
+
+        class BatchedWithoutSupports:
+            name = "batched-no-supports"
+            capabilities = EngineCapabilities(batched=True)
+
+        with pytest.raises(ValueError, match="supports"):
+            registry.register(BatchedWithoutSupports)
+
+
+class TestAutoPick:
+    def test_kind_routing(self):
+        assert pick_engine_name(OneFailAdaptive()) == "fair"
+        assert pick_engine_name(ExpBackonBackoff()) == "window"
+        assert pick_engine_name(BinarySplitting()) == "slot"
+
+    def test_non_default_channel_falls_back_to_slot(self):
+        assert pick_engine_name(OneFailAdaptive(), channel=CD_CHANNEL) == "slot"
+
+    def test_explicit_default_channel_keeps_reduced_engine(self):
+        assert pick_engine_name(OneFailAdaptive(), channel=ChannelModel()) == "fair"
+
+    def test_arrivals_fall_back_to_slot(self):
+        arrivals = PoissonArrival(k=10, rate=0.5)
+        assert pick_engine_name(OneFailAdaptive(), arrivals=arrivals) == "slot"
+        assert pick_engine_name(ExpBackonBackoff(), arrivals=arrivals) == "slot"
+
+    def test_auto_never_picks_batched_engines(self):
+        for protocol in (OneFailAdaptive(), ExpBackonBackoff()):
+            assert not engine_capabilities(pick_engine_name(protocol)).batched
+
+
+class TestExplicitPickValidation:
+    def test_wrong_kind_rejected_with_capable_engines(self):
+        with pytest.raises(ValueError) as excinfo:
+            pick_engine_name(ExpBackonBackoff(), engine="fair")
+        message = str(excinfo.value)
+        assert "windowed" in message and "window" in message and "slot" in message
+
+    def test_incapable_channel_rejected_with_capable_engines(self):
+        # Before the registry this either raised deep inside the engine
+        # constructor or silently simulated the wrong feedback model; now the
+        # explicit choice is validated up front against declared channels.
+        for engine in ("fair", "window", "batch", "batch-window"):
+            with pytest.raises(ValueError, match="cannot serve channel"):
+                pick_engine_name(OneFailAdaptive(), engine=engine, channel=CD_CHANNEL)
+
+    def test_arrivals_rejected_for_non_arrival_engines(self):
+        arrivals = PoissonArrival(k=10, rate=0.5)
+        for engine in ("fair", "window", "batch", "batch-window"):
+            with pytest.raises(ValueError, match="arrival"):
+                pick_engine_name(OneFailAdaptive(), engine=engine, arrivals=arrivals)
+
+    def test_slot_serves_everything_explicitly(self):
+        assert pick_engine_name(ExpBackonBackoff(), engine="slot", channel=CD_CHANNEL) == "slot"
+
+    def test_ackless_channel_diagnosed_as_such(self):
+        # The precise failure is the missing acknowledgements, not any
+        # engine's feedback capabilities.
+        no_acks = ChannelModel(acknowledgements=False)
+        for engine in ("auto", "slot", "fair"):
+            with pytest.raises(ValueError, match="without acknowledgements"):
+                pick_engine_name(OneFailAdaptive(), engine=engine, channel=no_acks)
+
+
+class TestBatchEngineFor:
+    def test_kind_routing(self):
+        assert batch_engine_for(OneFailAdaptive()) == "batch"
+        assert batch_engine_for(ExpBackonBackoff()) == "batch-window"
+        assert batch_engine_for(BinarySplitting()) is None
+
+    def test_explicit_selectors(self):
+        assert batch_engine_for(OneFailAdaptive(), engine="batch") == "batch"
+        assert batch_engine_for(ExpBackonBackoff(), engine="batch-window") == "batch-window"
+        # A per-run selector is never batch-eligible.
+        assert batch_engine_for(OneFailAdaptive(), engine="fair") is None
+        assert batch_engine_for(ExpBackonBackoff(), engine="window") is None
+        # A kind-mismatched batch selector is not eligible either.
+        assert batch_engine_for(ExpBackonBackoff(), engine="batch") is None
+        assert batch_engine_for(OneFailAdaptive(), engine="batch-window") is None
+
+    def test_arrivals_and_non_default_channels_never_batch(self):
+        arrivals = PoissonArrival(k=10, rate=0.5)
+        assert batch_engine_for(OneFailAdaptive(), arrivals=arrivals) is None
+        assert batch_engine_for(OneFailAdaptive(), channel=CD_CHANNEL) is None
+        assert batch_engine_for(ExpBackonBackoff(), channel=CD_CHANNEL) is None
+
+
+class TestLayersAgreeForEveryRegisteredProtocol:
+    """Session, run_sweep and the registry agree on every protocol's engines.
+
+    This is the regression the registry prevents: before it, three divergent
+    copies of the eligibility logic could (and did) disagree.  For every
+    protocol in the registry we build an instance, ask the registry what
+    should happen, and assert that a Session run and a run_sweep cell both
+    produce results from exactly the predicted engine — batched and per-run.
+    """
+
+    K = 12
+    REPS = 2
+
+    #: Protocols that cannot run on the paper's default channel, with the
+    #: channel spec they need (binary splitting needs ternary feedback).
+    CHANNEL_OVERRIDES = {"binary-splitting": "cd"}
+
+    @pytest.mark.parametrize("name", available_protocols())
+    def test_batched_and_per_run_routing(self, name):
+        channel_spec = self.CHANNEL_OVERRIDES.get(name, "default")
+        scenario = Scenario(protocol=name, k=self.K, replications=self.REPS, seed=3,
+                            channel=channel_spec, max_slots_factor=100)
+        protocol = scenario.build_protocol()
+        channel = scenario.build_channel()
+        predicted_batch = batch_engine_for(protocol, channel=channel)
+        predicted_per_run = pick_engine_name(protocol, channel=channel)
+
+        batched_session = Session().run(scenario)
+        expected_batched = predicted_batch if predicted_batch is not None else predicted_per_run
+        assert batched_session.engine_used == expected_batched
+
+        per_run_session = Session(batch=False).run(scenario)
+        assert per_run_session.engine_used == predicted_per_run
+
+        if channel_spec != "default":
+            return  # run_sweep cells always use the paper's channel
+        spec = ProtocolSpec(key=name, label=name, spec=name)
+        config = ExperimentConfig(k_values=[self.K], runs=self.REPS, seed=3,
+                                  max_slots_factor=100)
+        batched_sweep = run_sweep([spec], config).cell(name, self.K)
+        assert {result.engine for result in batched_sweep.results} == {expected_batched}
+        per_run_sweep = run_sweep([spec], config, batch=False).cell(name, self.K)
+        assert {result.engine for result in per_run_sweep.results} == {predicted_per_run}

@@ -4,24 +4,32 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, build_protocol, main
+from repro.cli import build_parser, main
 from repro.core.exp_backon_backoff import ExpBackonBackoff
 from repro.core.one_fail_adaptive import OneFailAdaptive
 from repro.protocols.aloha import SlottedAloha
+from repro.protocols.base import build_protocol
 from repro.protocols.log_fails_adaptive import LogFailsAdaptive
 
 
 class TestBuildProtocol:
+    """Protocol construction through the spec-string registry.
+
+    (The deprecated ``repro.cli.build_protocol`` wrapper is gone; the
+    registry's :func:`repro.protocols.base.build_protocol` is the one place
+    protocol construction lives, and the CLI assembles spec strings for it.)
+    """
+
     def test_paper_protocols_default_parameters(self):
         assert isinstance(build_protocol("one-fail-adaptive", k=100), OneFailAdaptive)
         assert isinstance(build_protocol("exp-backon-backoff", k=100), ExpBackonBackoff)
 
     def test_delta_override(self):
-        assert build_protocol("one-fail-adaptive", k=10, delta=2.9).delta == 2.9
-        assert build_protocol("exp-backon-backoff", k=10, delta=0.2).delta == 0.2
+        assert build_protocol("one-fail-adaptive(delta=2.9)", k=10).delta == 2.9
+        assert build_protocol("exp-backon-backoff(delta=0.2)", k=10).delta == 0.2
 
     def test_knowledge_protocols_receive_k(self):
-        lfa = build_protocol("log-fails-adaptive", k=499, xi_t=0.1)
+        lfa = build_protocol("log-fails-adaptive(xi_t=0.1)", k=499)
         assert isinstance(lfa, LogFailsAdaptive)
         assert lfa.epsilon == pytest.approx(1 / 500)
         assert lfa.xi_t == 0.1
@@ -32,6 +40,12 @@ class TestBuildProtocol:
     def test_backoff_family(self):
         assert build_protocol("loglog-iterated-backoff", k=10).name == "loglog-iterated-backoff"
         assert build_protocol("exponential-backoff", k=10).name == "exponential-backoff"
+
+    def test_cli_wrappers_removed(self):
+        import repro.cli
+
+        assert not hasattr(repro.cli, "build_protocol")
+        assert not hasattr(repro.cli, "build_arrivals")
 
 
 class TestSimulateCommand:

@@ -27,8 +27,10 @@ class TestSessionExecution:
         assert Session().run(scenario()).engine_used == "batch"
         assert Session(batch=False).run(scenario()).engine_used == "fair"
 
-    def test_windowed_protocol_not_batched(self):
+    def test_windowed_protocol_batch_routing(self):
         result_set = Session().run(scenario("exp-backon-backoff k=60 reps=2 seed=7"))
+        assert result_set.engine_used == "batch-window"
+        result_set = Session(batch=False).run(scenario("exp-backon-backoff k=60 reps=2 seed=7"))
         assert result_set.engine_used == "window"
 
     def test_dynamic_arrivals_route_to_slot_engine(self):
