@@ -1,0 +1,180 @@
+"""Benchmark: result-store backends — append throughput, cached_count latency.
+
+The store-backend promise is twofold: appends stay cheap as a cell grows
+(both backends write only the new replications), and the cached-probe hot
+path — the service's repeated ``POST /scenarios`` cache hit — must not do
+O(stored-replications) work:
+
+* :class:`~repro.scenarios.store_sqlite.SqliteStore` answers ``cached_count``
+  from maintained counters: a **cold** probe (fresh process/connection, no
+  warm cache) is O(1) and must not scale from 1k to 10k stored replications
+  — asserted below, per the issue's acceptance criteria.
+* :class:`~repro.scenarios.store.JsonlStore` pays one full parse on a cold
+  probe, but its mtime-invalidated per-hash cache makes every **warm** probe
+  a ``stat`` — also asserted not to scale.
+
+Populating uses synthetic :class:`StoredRun` payloads (no simulation), so
+the numbers isolate storage cost.  Everything lands in
+``benchmark_results/BENCH_store.json``; the smoke-marked subset (run by
+``scripts/bench_smoke.sh``) checks cross-backend round-trip semantics
+without timing assertions.  Scale via ``REPRO_BENCH_STORE_REPS``
+(default 10_000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine.result import SimulationResult
+from repro.scenarios import Scenario, StoredRun, open_store
+
+#: Artifact name fixed by the acceptance criteria of the store-backend issue.
+ARTIFACT_NAME = "BENCH_store.json"
+
+APPEND_BATCH = 500
+
+
+def bench_store_reps() -> int:
+    """Stored replications at the large measurement point (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_STORE_REPS", 10_000))
+
+
+def backend_specs(tmp_path) -> dict[str, str]:
+    return {
+        "jsonl": f"jsonl:{tmp_path / 'jsonl_store'}",
+        "sqlite": f"sqlite:{tmp_path / 'store.db'}",
+    }
+
+
+def scenario_for(replications: int) -> Scenario:
+    return Scenario.parse(f"one-fail-adaptive k=32 reps={replications} seed=9")
+
+
+def synthetic_runs(scenario: Scenario) -> list[StoredRun]:
+    seeds = scenario.seeds()
+    return [
+        StoredRun(
+            replication=replication,
+            seed=seeds[replication],
+            elapsed_seconds=0.001,
+            result=SimulationResult(
+                solved=True,
+                makespan=100 + replication,
+                k=32,
+                slots_simulated=100 + replication,
+                successes=32,
+                collisions=5,
+                silences=7,
+                protocol="one-fail-adaptive",
+                engine="fair",
+                seed=seeds[replication],
+                metadata={},
+            ),
+        )
+        for replication in range(scenario.replications)
+    ]
+
+
+def populate(spec: str, scenario: Scenario) -> float:
+    """Append all of ``scenario``'s replications in batches; returns seconds."""
+    store = open_store(spec)
+    runs = synthetic_runs(scenario)
+    started = time.perf_counter()
+    for base in range(0, len(runs), APPEND_BATCH):
+        store.append(scenario, runs[base : base + APPEND_BATCH])
+    elapsed = time.perf_counter() - started
+    store.close()
+    return elapsed
+
+
+def cold_probe_seconds(spec: str, scenario: Scenario, attempts: int = 3) -> float:
+    """Best-of-N cold ``cached_count``: fresh store instance, empty caches."""
+    best = float("inf")
+    for _ in range(attempts):
+        store = open_store(spec)
+        started = time.perf_counter()
+        count = store.cached_count(scenario)
+        best = min(best, time.perf_counter() - started)
+        store.close()
+        assert count == scenario.replications, "benchmark invariant: cell fully stored"
+    return best
+
+
+def warm_probe_seconds(spec: str, scenario: Scenario, calls: int = 100) -> float:
+    """Mean warm ``cached_count``: repeated probes on one open instance."""
+    store = open_store(spec)
+    store.cached_count(scenario)  # prime any cache
+    started = time.perf_counter()
+    for _ in range(calls):
+        store.cached_count(scenario)
+    elapsed = (time.perf_counter() - started) / calls
+    store.close()
+    return elapsed
+
+
+@pytest.mark.smoke
+def test_store_backends_round_trip_smoke(tmp_path):
+    """Both backends persist and serve a synthetic cell identically."""
+    scenario = scenario_for(200)
+    for name, spec in backend_specs(tmp_path).items():
+        populate(spec, scenario)
+        store = open_store(spec)
+        assert store.cached_count(scenario) == 200, name
+        loaded = store.load(scenario)
+        assert sorted(loaded) == list(range(200)), name
+        assert loaded[0].result.makespan == 100, name
+        store.close()
+
+
+def test_store_append_and_probe_latency(tmp_path, results_dir):
+    """Measure both backends at 1k and full scale; assert probe scaling."""
+    large = bench_store_reps()
+    small = max(large // 10, 1)
+    points = {small: scenario_for(small), large: scenario_for(large)}
+    backends: dict[str, dict[str, object]] = {}
+    for name, spec in backend_specs(tmp_path).items():
+        append_seconds: dict[str, float] = {}
+        cold_ms: dict[str, float] = {}
+        warm_us: dict[str, float] = {}
+        for replications, scenario in points.items():
+            scoped = f"{spec}.{replications}" if name == "sqlite" else f"{spec}-{replications}"
+            append_seconds[str(replications)] = populate(scoped, scenario)
+            cold_ms[str(replications)] = cold_probe_seconds(scoped, scenario) * 1e3
+            warm_us[str(replications)] = warm_probe_seconds(scoped, scenario) * 1e6
+        backends[name] = {
+            "append_runs_per_sec": large / append_seconds[str(large)],
+            "append_seconds": append_seconds,
+            "cold_cached_count_ms": cold_ms,
+            "warm_cached_count_us": warm_us,
+        }
+    sqlite_cold = backends["sqlite"]["cold_cached_count_ms"]
+    jsonl_warm = backends["jsonl"]["warm_cached_count_us"]
+    artifact = {
+        "benchmark": "store backend append throughput + cached_count latency",
+        "replications": {"small": small, "large": large},
+        "backends": backends,
+        "sqlite_cold_probe_scaling": sqlite_cold[str(large)]
+        / max(sqlite_cold[str(small)], 1e-9),
+    }
+    path = results_dir / ARTIFACT_NAME
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(
+        f"\nsqlite cold probe: {sqlite_cold[str(small)]:.3f} ms @ {small} -> "
+        f"{sqlite_cold[str(large)]:.3f} ms @ {large}   jsonl warm probe: "
+        f"{jsonl_warm[str(large)]:.1f} us @ {large}   -> {path}"
+    )
+    # Acceptance: SqliteStore's cached_count does not scale with stored
+    # replications.  Generous slack (5x or an absolute 5 ms floor) keeps CI
+    # noise out while still failing loudly on any O(rows) regression — the
+    # JSONL cold probe grows ~10x over the same range.
+    assert sqlite_cold[str(large)] <= max(5.0 * sqlite_cold[str(small)], 5.0), (
+        f"sqlite cold cached_count scaled with stored rows: {sqlite_cold}"
+    )
+    # The satellite fix: JsonlStore's warm probe is a stat, not a re-parse.
+    assert jsonl_warm[str(large)] <= max(5.0 * jsonl_warm[str(small)], 5_000.0), (
+        f"jsonl warm cached_count re-parses the file: {jsonl_warm}"
+    )

@@ -6,7 +6,9 @@
 # interchangeable with their per-run paths, and the registry must route fair
 # and windowed cells to their own batch engines) without running the full
 # sweeps, then a Session-store smoke run proving that a repeated scenario
-# execution is served entirely from the result store.
+# execution is served entirely from the result store, a store-migration smoke
+# (JSONL -> SQLite federation, re-served with 0 new simulations), and a
+# simulation-service smoke (cached resubmission over HTTP).
 # The full batch-speedup trajectories (write benchmark_results/BENCH_batch.json
 # and benchmark_results/BENCH_batch_window.json) run with:
 #   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
@@ -37,6 +39,23 @@ payload = json.load(sys.stdin)
 assert payload["new_runs"] == 0, f"expected 0 new runs on re-run, got {payload}"
 assert payload["cached_runs"] == 5, f"expected 5 cached runs, got {payload}"
 print("session-store smoke ok: re-run served %d cached runs, %d new simulations"
+      % (payload["cached_runs"], payload["new_runs"]))
+'
+
+# --- Store-migration smoke ---------------------------------------------------
+# Federate the JSONL store populated above into a fresh SQLite store, then
+# re-run against the SQLite spec: every replication must come from the
+# migrated cell, with 0 new simulations.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro store migrate \
+    "$STORE_DIR" "sqlite:$STORE_DIR/store.db" > /dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run "$SCENARIO" \
+    --store "sqlite:$STORE_DIR/store.db" --json \
+  | python -c '
+import json, sys
+payload = json.load(sys.stdin)
+assert payload["new_runs"] == 0, f"expected 0 new runs after migration, got {payload}"
+assert payload["cached_runs"] == 5, f"expected 5 migrated runs, got {payload}"
+print("store-migrate smoke ok: sqlite store served %d migrated runs, %d new simulations"
       % (payload["cached_runs"], payload["new_runs"]))
 '
 

@@ -82,7 +82,19 @@ from repro.protocols import (
     build_protocol,
     get_protocol_class,
 )
-from repro.scenarios import ResultSet, ResultStore, Scenario, Session
+from repro.scenarios import (
+    JsonlStore,
+    ResultSet,
+    ResultStore,
+    Scenario,
+    Session,
+    SqliteStore,
+    StoreBackend,
+    SyncReport,
+    available_store_backends,
+    open_store,
+    sync_stores,
+)
 from repro.service import ServiceClient, ServiceError
 
 __version__ = "1.1.0"
@@ -134,7 +146,15 @@ __all__ = [
     "Scenario",
     "Session",
     "ResultSet",
+    # result stores & federation
+    "StoreBackend",
+    "JsonlStore",
+    "SqliteStore",
     "ResultStore",
+    "open_store",
+    "available_store_backends",
+    "sync_stores",
+    "SyncReport",
     # simulation service
     "ServiceClient",
     "ServiceError",

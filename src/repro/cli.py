@@ -9,15 +9,18 @@ Subcommands:
 * ``run``       — execute a declarative scenario (a compact spec string or a
   ``.toml``/``.json`` scenario file) through a
   :class:`~repro.scenarios.session.Session`, optionally backed by a
-  persistent ``--store`` directory that serves completed replications on
-  re-run;
+  persistent ``--store`` (a JSONL directory, or a store spec like
+  ``sqlite:results.db``) that serves completed replications on re-run;
 * ``serve``     — run the simulation service (:mod:`repro.service`): a
   threaded HTTP/JSON server with a dedup'ing FIFO job queue over one shared
   session;
 * ``submit``    — submit a scenario to a running service (``--url``) instead
   of simulating locally; waits for completion and prints the result;
-* ``store``     — list a result-store directory (scenario, hash,
-  replications on record, solved fraction);
+* ``store``     — inspect and manage result stores: ``repro store <spec>``
+  lists the scenarios on record, ``repro store migrate <src> <dst>`` copies
+  missing replications between any two backends (or a running service URL)
+  via :func:`repro.scenarios.federation.sync`, and ``repro store compact
+  <spec>`` reclaims space and removes lock litter;
 * ``figure1``   — reproduce Figure 1 (delegates to
   :mod:`repro.experiments.figure1`);
 * ``table1``    — reproduce Table 1 (delegates to
@@ -270,19 +273,47 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if payload["solved_runs"] == len(payload["results"]) else 1
 
 
-def _cmd_store(args: argparse.Namespace) -> int:
-    from repro.scenarios.store import ResultStore
+def _store_spec_missing(spec: str) -> str | None:
+    """For a read-only store command: the local path that must already exist.
 
-    root = Path(args.directory)
-    if not root.is_dir():
-        print(f"repro: error: store directory {root} does not exist", file=sys.stderr)
+    Returns the missing path, or ``None`` when the target exists (service
+    URLs are always deferred to the request itself).
+    """
+    if spec.startswith(("http://", "https://")):
+        return None
+    from repro.scenarios.store import parse_store_spec
+
+    _, location = parse_store_spec(spec)
+    path = Path(location.partition("?")[0])
+    return None if path.exists() else str(path)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    targets: list[str] = args.target
+    if targets[0] == "migrate":
+        return _store_migrate(targets[1:], json_output=args.json)
+    if targets[0] == "compact":
+        return _store_compact(targets[1:], json_output=args.json)
+    if len(targets) != 1:
+        print("repro: error: usage: repro store <spec> | migrate <src> <dst> | "
+              "compact <spec>", file=sys.stderr)
         return 2
-    records = ResultStore(root).summaries()
-    if args.json:
+    return _store_list(targets[0], json_output=args.json)
+
+
+def _store_list(spec: str, json_output: bool) -> int:
+    from repro.scenarios.store import open_store
+
+    missing = _store_spec_missing(spec)
+    if missing is not None:
+        print(f"repro: error: store directory {missing} does not exist", file=sys.stderr)
+        return 2
+    records = open_store(spec).summaries()
+    if json_output:
         print(json.dumps([record.to_dict() for record in records], indent=2, sort_keys=True))
         return 0
     if not records:
-        print(f"store {root}: no scenarios on record")
+        print(f"store {spec}: no scenarios on record")
         return 0
     rows = [
         [
@@ -294,6 +325,65 @@ def _cmd_store(args: argparse.Namespace) -> int:
         for record in records
     ]
     print(format_text_table(["hash", "scenario", "reps on record", "solved"], rows))
+    return 0
+
+
+def _store_migrate(targets: list[str], json_output: bool) -> int:
+    """``repro store migrate <src> <dst>``: federation sync + lock cleanup."""
+    from repro.scenarios.federation import resolve_store, sync
+    from repro.scenarios.store import JsonlStore
+
+    if len(targets) != 2:
+        print("repro: error: usage: repro store migrate <src> <dst>", file=sys.stderr)
+        return 2
+    source, destination = targets
+    missing = _store_spec_missing(source)
+    if missing is not None:
+        print(f"repro: error: store directory {missing} does not exist", file=sys.stderr)
+        return 2
+    try:
+        report = sync(source, destination)
+    except Exception as error:  # noqa: BLE001 - surfaced as a one-line CLI error
+        return _scenario_error(error)
+    # Migration is an offline moment: clear accumulated lock-sidecar litter
+    # on both local JSONL endpoints (unsafe only under live writers).
+    for endpoint in (source, destination):
+        store = resolve_store(endpoint)
+        if isinstance(store, JsonlStore):
+            store.clean_locks()
+    if json_output:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"migrated {report.replications_copied} replication(s) across "
+            f"{report.scenarios_copied} scenario(s) "
+            f"({report.scenarios_examined} examined) "
+            f"from {report.source} to {report.destination}"
+        )
+    return 0
+
+
+def _store_compact(targets: list[str], json_output: bool) -> int:
+    """``repro store compact <spec>``: reclaim space, drop lock litter."""
+    from repro.scenarios.store import open_store
+
+    if len(targets) != 1:
+        print("repro: error: usage: repro store compact <spec>", file=sys.stderr)
+        return 2
+    missing = _store_spec_missing(targets[0])
+    if missing is not None:
+        print(f"repro: error: store directory {missing} does not exist", file=sys.stderr)
+        return 2
+    report = open_store(targets[0]).compact()
+    if json_output:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"compacted {report.scenarios} scenario(s): "
+            f"{report.records_dropped} stale record(s) dropped, "
+            f"{report.lock_files_removed} lock file(s) removed, "
+            f"{report.runs_evicted} run(s) evicted"
+        )
     return 0
 
 
@@ -364,7 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(a repeated invocation reports 0 new runs).",
     )
     run.add_argument("scenario", help="scenario spec string or path to a .toml/.json file")
-    run.add_argument("--store", type=Path, default=None, help="persistent result-store directory")
+    run.add_argument(
+        "--store",
+        default=None,
+        help="persistent result store: a directory (JSONL) or a backend spec "
+        "like jsonl:dir / sqlite:results.db",
+    )
     run.add_argument(
         "--workers",
         type=int,
@@ -395,7 +490,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765, help="listen port (0 = ephemeral)")
-    serve.add_argument("--store", type=Path, default=None, help="persistent result-store directory")
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="persistent result store: a directory (JSONL) or a backend spec "
+        "like jsonl:dir / sqlite:results.db (sqlite supports ?ttl=&max_rows= "
+        "eviction for always-on servers)",
+    )
     serve.add_argument(
         "--workers",
         type=int,
@@ -444,11 +545,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = subparsers.add_parser(
         "store",
-        help="list a result-store directory (scenario, hash, runs on record)",
-        description="List the scenarios on record in a result-store directory, with "
-        "their content hashes, replications on record and solved fractions.",
+        help="inspect or manage a result store (list / migrate / compact)",
+        description="Inspect and manage result stores.  'repro store <spec>' lists the "
+        "scenarios on record with content hashes, replications and solved fractions; "
+        "'repro store migrate <src> <dst>' copies the replications <dst> is missing "
+        "from <src> (any backend spec or a running service URL, idempotent); "
+        "'repro store compact <spec>' drops stale records, lock litter and evicted "
+        "rows.  A spec is a directory (JSONL), jsonl:dir, sqlite:file.db, or for "
+        "migrate an http(s):// service URL.",
     )
-    store.add_argument("directory", help="result-store directory (as passed to --store)")
+    store.add_argument(
+        "target",
+        nargs="+",
+        help="store spec to list, or: migrate <src> <dst> | compact <spec>",
+    )
     store.add_argument("--json", action="store_true", help="print machine-readable records")
     store.set_defaults(func=_cmd_store)
 

@@ -264,9 +264,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--store",
-        type=Path,
         default=None,
-        help="Session result-store directory (completed cells are reused on re-run)",
+        help="Session result store (directory or spec like sqlite:results.db); "
+        "completed cells are reused on re-run",
     )
     args = parser.parse_args(argv)
 

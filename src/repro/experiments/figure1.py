@@ -75,7 +75,7 @@ def reproduce_figure1(
     specs: list[ProtocolSpec] | None = None,
     engine: str = "auto",
     progress: bool = False,
-    store_dir: Path | None = None,
+    store_dir: "str | Path | None" = None,
 ) -> Figure1Result:
     """Run the Figure 1 sweep and return the curves.
 
@@ -91,8 +91,9 @@ def reproduce_figure1(
     progress:
         When true, prints one line per completed (protocol, k) cell to stderr.
     store_dir:
-        Optional Session result-store directory: completed cells are
-        persisted there and served from it on re-run (resumable sweeps).
+        Optional Session result store (a directory, store spec string, or
+        built backend): completed cells are persisted there and served from
+        it on re-run (resumable sweeps).
     """
     if config is None:
         config = ExperimentConfig()
@@ -142,10 +143,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--store",
-        type=Path,
         default=None,
-        help="Session result-store directory: completed cells are persisted there "
-        "and served from it on re-run (resumable sweeps)",
+        help="Session result store (directory or spec like sqlite:results.db): "
+        "completed cells are persisted there and served from it on re-run "
+        "(resumable sweeps)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)

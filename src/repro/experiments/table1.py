@@ -119,12 +119,13 @@ def reproduce_table1(
     specs: list[ProtocolSpec] | None = None,
     engine: str = "auto",
     progress: bool = False,
-    store_dir: Path | None = None,
+    store_dir: "str | Path | None" = None,
 ) -> Table1Result:
     """Run the Table 1 sweep (same sweep as Figure 1) and return the ratios.
 
-    ``store_dir`` names an optional Session result store; completed cells are
-    persisted there and served from it on re-run (resumable sweeps).
+    ``store_dir`` names an optional Session result store (a directory, store
+    spec string, or built backend); completed cells are persisted there and
+    served from it on re-run (resumable sweeps).
     """
     if config is None:
         config = ExperimentConfig()
@@ -172,10 +173,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--store",
-        type=Path,
         default=None,
-        help="Session result-store directory: completed cells are persisted there "
-        "and served from it on re-run (resumable sweeps)",
+        help="Session result store (directory or spec like sqlite:results.db): "
+        "completed cells are persisted there and served from it on re-run "
+        "(resumable sweeps)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)

@@ -6,7 +6,13 @@ This package is the spec-driven front door to the whole library:
   shared by the protocol, arrival and channel registries;
 * :mod:`repro.scenarios.scenario` — the frozen, hashable :class:`Scenario`
   value object (string ⇄ dict ⇄ JSON ⇄ TOML round-trips);
-* :mod:`repro.scenarios.store` — the per-scenario JSONL result store;
+* :mod:`repro.scenarios.store` — pluggable result-store backends behind the
+  :class:`StoreBackend` contract: the per-scenario JSONL store
+  (:class:`JsonlStore`), the indexed SQLite store
+  (:class:`~repro.scenarios.store_sqlite.SqliteStore`), and the
+  ``jsonl:``/``sqlite:`` selection grammar (:func:`open_store`);
+* :mod:`repro.scenarios.federation` — cross-store sync by content hash
+  (:func:`sync_stores`), disk↔disk or against a running simulation service;
 * :mod:`repro.scenarios.session` — the :class:`Session` service that plans,
   caches, resumes and fans out scenario executions.
 
@@ -19,13 +25,32 @@ Quickstart::
     print(result_set.mean_makespan, result_set.new_runs, result_set.cached_runs)
 
 Re-running the same scenario against the same store performs zero new
-simulations — every replication is served from the JSONL store.
+simulations — every replication is served from the store.  Pass
+``store_dir="sqlite:results.db"`` for the indexed backend, and
+``sync_stores(src, dst)`` to make results simulated anywhere cached
+everywhere.
 """
 
+from repro.scenarios.federation import RemoteStore, SyncReport
+from repro.scenarios.federation import sync as sync_stores
 from repro.scenarios.scenario import SEED_POLICIES, Scenario
 from repro.scenarios.session import ResultSet, Session, SessionProgress
 from repro.scenarios.spec import SpecError, canonical_spec, format_spec, parse_spec
-from repro.scenarios.store import ResultStore, StoredRun, StoreRecord
+from repro.scenarios.store import (
+    CompactionReport,
+    JsonlStore,
+    ResultStore,
+    RunMeta,
+    StoreBackend,
+    StoreCapabilities,
+    StoredRun,
+    StoreRecord,
+    available_store_backends,
+    open_store,
+    parse_store_spec,
+    register_store_backend,
+)
+from repro.scenarios.store_sqlite import SqliteStore
 
 __all__ = [
     "Scenario",
@@ -33,9 +58,22 @@ __all__ = [
     "Session",
     "SessionProgress",
     "ResultSet",
+    "StoreBackend",
+    "JsonlStore",
+    "SqliteStore",
+    "RemoteStore",
     "ResultStore",
     "StoredRun",
     "StoreRecord",
+    "RunMeta",
+    "StoreCapabilities",
+    "CompactionReport",
+    "open_store",
+    "parse_store_spec",
+    "register_store_backend",
+    "available_store_backends",
+    "sync_stores",
+    "SyncReport",
     "SpecError",
     "parse_spec",
     "format_spec",

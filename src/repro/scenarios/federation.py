@@ -1,0 +1,222 @@
+"""Cross-store federation: exchange completed replications by content hash.
+
+Stores — any :class:`~repro.scenarios.store.StoreBackend`, local or behind a
+running simulation service — hold the same logical objects: per-scenario
+cells of completed replications keyed by :meth:`Scenario.content_hash`.
+Because seeds are prefix-stable, merging two cells of the *same* hash can
+never conflict: replication ``i`` has exactly one valid seed, so a per-hash
+merge is a plain seed-set union and :func:`sync` only has to copy the
+replication indices the destination is missing.
+
+Three shapes of endpoint, freely mixable as source or destination::
+
+    sync("results/a", "sqlite:results/b.db")          # disk -> disk
+    sync("sqlite:lab.db", "http://10.0.0.5:8765")     # disk -> running server
+    sync("http://10.0.0.5:8765", "results/mirror")    # running server -> disk
+
+Local endpoints go through :func:`repro.scenarios.store.open_store` (the
+``jsonl:``/``sqlite:`` grammar); ``http://``/``https://`` endpoints become a
+:class:`RemoteStore` speaking the service wire protocol — reads via
+``GET /store`` + ``GET /results/<hash>``, writes via the ``POST
+/results/<hash>`` ingest endpoint.  A scenario simulated on any machine
+thereby becomes cached everywhere: after a sync, the receiving side serves
+it with **zero** new simulations.
+
+``repro store migrate <src> <dst>`` is a thin CLI veneer over :func:`sync`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.result import SimulationResult
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.store import (
+    CompactionReport,
+    StoreBackend,
+    StoreCapabilities,
+    StoredRun,
+    open_store,
+)
+
+__all__ = ["RemoteStore", "SyncReport", "resolve_store", "sync"]
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one :func:`sync` call moved from source to destination."""
+
+    source: str
+    destination: str
+    scenarios_examined: int = 0
+    scenarios_copied: int = 0
+    replications_copied: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "destination": self.destination,
+            "scenarios_examined": self.scenarios_examined,
+            "scenarios_copied": self.scenarios_copied,
+            "replications_copied": self.replications_copied,
+        }
+
+
+class RemoteStore(StoreBackend):
+    """A running simulation service viewed through the store contract.
+
+    Reads ride the existing service endpoints (``GET /store`` for the
+    listing, ``GET /results/<hash>`` for a cell's completed replications —
+    an *incomplete* cell reads as empty, since the service only serves fully
+    cached scenarios), and :meth:`append`/:meth:`push` ride ``POST
+    /results/<hash>``, where the server diffs against its own store so a
+    push is idempotent and never overwrites existing replications.
+
+    Locking is the server's problem (its session serialises store access);
+    this class is a stateless wire adapter and is itself thread-safe.
+    """
+
+    name = "remote"
+    capabilities = StoreCapabilities(indexed_counts=False, eviction=False, multiprocess=True)
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        from repro.service.client import ServiceClient  # lazy: avoid an import cycle
+
+        self.base_url = base_url.rstrip("/")
+        self.client = ServiceClient(self.base_url, timeout=timeout)
+
+    def describe(self) -> str:
+        return self.base_url
+
+    # -------------------------------------------------------------- reading
+    def scenarios_on_record(self) -> list[Scenario]:
+        scenarios = []
+        for record in self.client.store_records():
+            try:
+                scenarios.append(Scenario.parse(str(record["scenario"])))
+            except (KeyError, ValueError):  # SpecError is a ValueError
+                continue
+        return scenarios
+
+    def scenario_for_hash(self, content_hash: str) -> Scenario | None:
+        for scenario in self.scenarios_on_record():
+            if scenario.content_hash() == content_hash:
+                return scenario
+        return None
+
+    def load(self, scenario: Scenario) -> dict[int, StoredRun]:
+        from repro.service.client import ServiceError  # lazy: avoid an import cycle
+
+        try:
+            payload = self.client.result(scenario.content_hash())
+        except ServiceError:
+            return {}  # unknown or incomplete on the server: nothing to copy
+        results = payload.get("results", [])
+        elapsed_total = float(payload.get("elapsed_seconds", 0.0) or 0.0)
+        per_run_elapsed = elapsed_total / max(len(results), 1)
+        expected_seeds = scenario.seeds()
+        runs: dict[int, StoredRun] = {}
+        for replication, result_dict in enumerate(results):
+            try:
+                result = SimulationResult.from_dict(result_dict)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if replication < len(expected_seeds) and result.seed != expected_seeds[replication]:
+                continue
+            runs[replication] = StoredRun(
+                replication=replication,
+                seed=result.seed,
+                elapsed_seconds=per_run_elapsed,
+                result=result,
+            )
+        return runs
+
+    def run_index(self, scenario: Scenario):  # noqa: ANN201 - see StoreBackend
+        from repro.scenarios.store import RunMeta
+
+        return {
+            replication: RunMeta(
+                replication=replication,
+                seed=run.seed,
+                engine=run.result.engine,
+                batch_reps=run.result.metadata.get("batch_reps")
+                if isinstance(run.result.metadata.get("batch_reps"), int)
+                else None,
+            )
+            for replication, run in self.load(scenario).items()
+        }
+
+    # -------------------------------------------------------------- writing
+    def append(self, scenario: Scenario, runs: Sequence[StoredRun]) -> None:
+        self.push(scenario, runs)
+
+    def push(self, scenario: Scenario, runs: Sequence[StoredRun]) -> int:
+        """Offer replications to the server; returns how many it was missing."""
+        if not runs:
+            return 0
+        payload = self.client.push_runs(scenario, runs)
+        return int(payload.get("added", 0))  # type: ignore[arg-type]
+
+    def compact(self) -> CompactionReport:
+        """Remote stores compact on their own machine; a no-op here."""
+        return CompactionReport()
+
+
+def resolve_store(
+    target: str | Path | StoreBackend, timeout: float = 30.0
+) -> StoreBackend:
+    """A federation endpoint: URL → :class:`RemoteStore`, else the store grammar."""
+    if isinstance(target, str) and target.startswith(("http://", "https://")):
+        return RemoteStore(target, timeout=timeout)
+    return open_store(target)
+
+
+def sync(
+    source: str | Path | StoreBackend,
+    destination: str | Path | StoreBackend,
+    *,
+    timeout: float = 30.0,
+) -> SyncReport:
+    """Copy every replication ``destination`` is missing from ``source``.
+
+    Diffs by content hash, then per hash by replication index (seed-set
+    union — prefix-stable seeds make this conflict-free).  Existing
+    destination replications are never overwritten, so the call is
+    idempotent: a second sync copies nothing.  Source cells that read as
+    empty (e.g. an incomplete cell on a remote server) are skipped.
+    """
+    src = resolve_store(source, timeout=timeout)
+    dst = resolve_store(destination, timeout=timeout)
+    examined = copied_scenarios = copied_replications = 0
+    for scenario in src.scenarios_on_record():
+        examined += 1
+        src_runs = src.load(scenario)
+        if not src_runs:
+            continue
+        if isinstance(dst, RemoteStore):
+            # The server diffs against its own store and reports what it
+            # actually added — no read-modify-write race over the wire.
+            added = dst.push(
+                scenario, [run for _, run in sorted(src_runs.items())]
+            )
+        else:
+            existing = set(dst.load(scenario))
+            missing = [
+                run for replication, run in sorted(src_runs.items())
+                if replication not in existing
+            ]
+            if missing:
+                dst.append(scenario, missing)
+            added = len(missing)
+        if added:
+            copied_scenarios += 1
+            copied_replications += added
+    return SyncReport(
+        source=src.describe(),
+        destination=dst.describe(),
+        scenarios_examined=examined,
+        scenarios_copied=copied_scenarios,
+        replications_copied=copied_replications,
+    )

@@ -3,8 +3,10 @@
 A session is the one spec-driven front door to every execution path in this
 repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
 
-1. content-hashes the scenario and, when backed by a store directory, loads
-   the replications already on record (re-running a completed scenario costs
+1. content-hashes the scenario and, when backed by a result store (any
+   :class:`~repro.scenarios.store.StoreBackend` — a JSONL directory, an
+   indexed SQLite file, or a spec string selecting one), loads the
+   replications already on record (re-running a completed scenario costs
    **zero** new simulations);
 2. plans exactly the missing replications as
    :class:`~repro.experiments.parallel.SimulationUnit` work units — one
@@ -16,8 +18,8 @@ repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
 3. fans the units out over a
    :class:`~repro.experiments.parallel.ParallelExecutor` (cells across
    processes, replications vectorised within); and
-4. appends each fresh outcome to the JSONL store, so an interrupted sweep
-   resumes with only the missing cells executed.
+4. appends each fresh outcome to the store, so an interrupted sweep resumes
+   with only the missing cells executed.
 
 The sweep experiments (:func:`repro.experiments.runner.run_sweep`, Figure 1,
 Table 1, the dynamic extension) and the ``repro run`` CLI are all thin
@@ -48,7 +50,7 @@ from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.engine.result import SimulationResult
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
 from repro.scenarios.scenario import Scenario
-from repro.scenarios.store import ResultStore, StoredRun
+from repro.scenarios.store import StoreBackend, StoredRun, open_store
 
 __all__ = ["ResultSet", "Session", "SessionProgress"]
 
@@ -146,7 +148,11 @@ class Session:
     Parameters
     ----------
     store_dir:
-        Directory of the JSONL result store.  ``None`` (default) runs
+        Where results persist: an already-built
+        :class:`~repro.scenarios.store.StoreBackend`, a ``Path`` (JSONL
+        directory), or a store spec string (``jsonl:dir``,
+        ``sqlite:file.db``; a bare path is a JSONL directory) — see
+        :func:`~repro.scenarios.store.open_store`.  ``None`` (default) runs
         everything in memory — no persistence, no cache hits.
     workers:
         Worker processes for fan-out (``1`` = serial in-process, ``0``/
@@ -159,11 +165,11 @@ class Session:
 
     def __init__(
         self,
-        store_dir: str | Path | None = None,
+        store_dir: str | Path | StoreBackend | None = None,
         workers: int | None = 1,
         batch: bool = True,
     ) -> None:
-        self.store = ResultStore(store_dir) if store_dir is not None else None
+        self.store = open_store(store_dir) if store_dir is not None else None
         self.workers = workers
         self.batch = batch
         # Serialises this session's store access so one Session instance can
@@ -186,7 +192,29 @@ class Session:
         """
         if self.store is None:
             return 0
-        return len(self._usable_cached(scenario, self._plan(scenario)))
+        plan = self._plan(scenario)
+        with self._store_lock:
+            index = self.store.run_index(scenario)
+        expected_seeds = scenario.seeds()
+        usable = {
+            replication
+            for replication, meta in index.items()
+            if replication < scenario.replications
+            and meta.seed == expected_seeds[replication]
+            and meta.engine == plan.expected_engine
+        }
+        if plan.use_batch:
+            # Same all-or-nothing rule as _usable_cached: a batch cell is
+            # reusable only when it was produced as a batch of exactly this
+            # replication count.
+            usable = {
+                replication
+                for replication in usable
+                if index[replication].batch_reps == scenario.replications
+            }
+            if len(usable) != scenario.replications:
+                usable = set()
+        return len(usable)
 
     def is_cached(self, scenario: Scenario) -> bool:
         """Whether :meth:`run` would perform zero new simulations."""
@@ -196,11 +224,18 @@ class Session:
         """Serve a scenario entirely from the store, or ``None`` on any miss.
 
         One store read total — unlike ``is_cached(s) and run(s)``, which
-        loads the file twice.  This is the service's cached fast path, so a
-        repeat submission costs a single JSONL parse and zero simulations.
+        loads the file twice.  This is the service's cached fast path: a
+        definite miss is answered by the store's own ``cached_count`` probe
+        (an O(1) counter fetch on indexed backends, a stat-validated cache
+        hit on JSONL) and a repeat submission costs zero simulations.
         """
         if self.store is None:
             return None
+        with self._store_lock:
+            # Upper bound on usable replications: short-circuits misses
+            # without deserialising any results.
+            if self.store.cached_count(scenario) < scenario.replications:
+                return None
         usable = self._usable_cached(scenario, self._plan(scenario))
         if len(usable) != scenario.replications:
             return None
@@ -214,6 +249,36 @@ class Session:
             cached_runs=len(ordered),
             elapsed_seconds=sum(run.elapsed_seconds for run in ordered),
         )
+
+    def ingest(self, scenario: Scenario, runs: Sequence[StoredRun]) -> int:
+        """Merge externally produced replications into this session's store.
+
+        The federation receive path (``POST /results/<hash>`` and
+        ``repro store migrate``): replications whose index is already on
+        record are ignored — existing results are never overwritten — and
+        runs whose seed disagrees with the scenario's derivation are dropped,
+        so a misbehaving peer cannot poison the store.  Returns how many
+        replications were actually added; idempotent.
+        """
+        if self.store is None:
+            raise ValueError("session has no store to ingest into")
+        expected_seeds = scenario.seeds()
+        valid = [
+            run
+            for run in runs
+            if run.replication >= len(expected_seeds)
+            or run.seed == expected_seeds[run.replication]
+        ]
+        with self._store_lock:
+            existing = set(self.store.load(scenario))
+            missing = [
+                run
+                for run in sorted(valid, key=lambda run: run.replication)
+                if run.replication not in existing
+            ]
+            if missing:
+                self.store.append(scenario, missing)
+        return len(missing)
 
     def run_all(
         self,

@@ -1,35 +1,69 @@
-"""Persistent per-scenario result store: one JSONL file per scenario hash.
+"""Pluggable result-store backends: the persistence layer behind Sessions.
 
-The store is the durability layer behind
-:class:`~repro.scenarios.session.Session`.  Layout, under one root directory::
+Every execution layer in this repository — :class:`~repro.scenarios.session.
+Session` resume, the simulation service's dedup and cached fast path, the
+sweep runners — persists completed replications through ONE storage contract,
+:class:`StoreBackend`, keyed by :meth:`Scenario.content_hash`.  Two backends
+ship with the library:
 
-    <root>/<content-hash>.jsonl
+* :class:`JsonlStore` (``jsonl:``, the default) — one self-describing JSONL
+  file per scenario hash under a root directory.  Human-greppable,
+  append-only, interruption-safe by construction.
+* :class:`~repro.scenarios.store_sqlite.SqliteStore` (``sqlite:``) — one
+  indexed SQLite database in WAL mode.  O(1) ``cached_count`` without
+  reading a result tail, compaction, and optional TTL / max-row eviction
+  for always-on servers.
 
-Line 1 is a self-describing header carrying the scenario that produced the
-file; every further line records one completed replication (its index, seed,
-simulation time and full :class:`~repro.engine.result.SimulationResult`).
-Appending line-by-line makes interruption safe by construction: a run killed
-mid-sweep leaves complete lines for the replications that finished, and the
-next session re-executes only the missing ones.  A torn final line (the
-process died mid-write) is detected by the JSON parser and ignored.
+Backends are selected by a compact spec grammar mirroring the engine /
+protocol / arrival registries, consumed by ``Session(store_dir=…)``,
+``repro run/figure1/table1 --store``, ``repro serve --store`` and
+``repro store``::
 
-The file is keyed by :meth:`Scenario.content_hash`, which excludes the
-replication count — so raising ``replications`` later extends the same file
-instead of starting a new cell from scratch.
+    results/store                  # bare path: JSONL directory (default)
+    jsonl:results/store            # explicit JSONL directory
+    sqlite:results/store.db        # SQLite database file
+    sqlite:store.db?ttl=86400&max_rows=100000   # with eviction options
 
-Concurrency
------------
-:meth:`ResultStore.append` is safe under concurrent writers.  Each append
-takes an ``fcntl``-based advisory lock on a per-hash sidecar file
-(``<content-hash>.jsonl.lock``) for the whole read-tail/heal/write critical
-section, so two processes — or two server worker threads, since ``flock``
-locks attach to the open file description, not the process — cannot
-interleave torn lines or both decide to write the header.  The header itself
-is written atomically with the first batch of runs in a single ``write``
-call, under the lock, after re-checking that the file is still empty.  On
-platforms without ``fcntl`` (Windows) the store degrades to an in-process
-:class:`threading.Lock`, which still serialises all writers within one
-interpreter (the simulation service's deployment shape).
+:func:`open_store` resolves a spec (or a ``Path``, or an already-built
+backend) to a :class:`StoreBackend`; third-party backends join the grammar
+via :func:`register_store_backend`.  Cross-store exchange of results by
+content hash — disk↔disk and over HTTP against a running service — lives in
+:mod:`repro.scenarios.federation`.
+
+Storage contract
+----------------
+The unit of storage is one *scenario cell* (a content hash) holding a set of
+:class:`StoredRun` replications.  The hash excludes the replication count —
+seeds are prefix-stable — so raising ``replications`` later extends the same
+cell instead of starting a new one.  ``load`` must tolerate corrupt or
+foreign records (skip them, never raise): a torn JSONL tail, a hand-edited
+seed, or a bogus row must degrade to "that replication is missing", not
+poison a resumed sweep.
+
+Locking contract
+----------------
+:meth:`StoreBackend.append` MUST be safe under concurrent writers — several
+threads of one process and several processes sharing the store — such that
+readers never observe torn records and the per-cell header/metadata is
+written exactly once.  How that is achieved is the backend's business:
+
+* :class:`JsonlStore` takes an ``fcntl``-based advisory lock on a per-hash
+  sidecar file (``<content-hash>.jsonl.lock``) around the whole
+  read-tail/heal/header/write critical section; ``flock`` attaches to the
+  open file description, so two server worker threads serialise exactly like
+  two processes.  On platforms without ``fcntl`` (Windows) it degrades to an
+  in-process :class:`threading.Lock`, which still serialises all writers
+  within one interpreter (the simulation service's deployment shape).  Lock
+  sidecars are janitorial litter, not data: they are excluded from every
+  listing and removed by :meth:`JsonlStore.compact` (and by
+  ``repro store migrate``).
+* ``SqliteStore`` relies on SQLite's own WAL-mode locking with a generous
+  busy timeout; every append is one ``BEGIN IMMEDIATE`` transaction.
+
+``load``/``cached_count``/``run_index`` MAY be served from caches, but must
+never return results a concurrent committed append has superseded forever:
+:class:`JsonlStore` invalidates its per-hash parse cache on any
+mtime/size change, so an external append is observed on the next read.
 """
 
 from __future__ import annotations
@@ -37,9 +71,11 @@ from __future__ import annotations
 import json
 import re
 import threading
-from collections.abc import Iterator
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 try:  # pragma: no cover - exercised implicitly on POSIX
@@ -50,10 +86,26 @@ except ImportError:  # pragma: no cover - Windows fallback
 from repro.engine.result import SimulationResult
 from repro.scenarios.scenario import Scenario
 
-__all__ = ["StoredRun", "StoreRecord", "ResultStore"]
+__all__ = [
+    "StoredRun",
+    "StoreRecord",
+    "RunMeta",
+    "StoreCapabilities",
+    "CompactionReport",
+    "StoreBackend",
+    "JsonlStore",
+    "ResultStore",
+    "open_store",
+    "parse_store_spec",
+    "register_store_backend",
+    "available_store_backends",
+]
 
 #: Shape of :meth:`Scenario.content_hash` digests (16 lowercase hex digits).
 _HASH_RE = re.compile(r"[0-9a-f]{16}")
+
+#: Parsed JSONL cells kept per :class:`JsonlStore` instance (LRU, by hash).
+_JSONL_CACHE_ENTRIES = 128
 
 
 @dataclass(frozen=True)
@@ -67,8 +119,24 @@ class StoredRun:
 
 
 @dataclass(frozen=True)
+class RunMeta:
+    """Index entry for one stored replication: everything a cache probe needs.
+
+    Carries the fields :class:`~repro.scenarios.session.Session` filters on
+    (seed, producing engine, batch composition) *without* the full
+    :class:`SimulationResult`, so indexed backends can answer
+    ``cached_count`` probes without deserialising result payloads.
+    """
+
+    replication: int
+    seed: int
+    engine: str
+    batch_reps: int | None
+
+
+@dataclass(frozen=True)
 class StoreRecord:
-    """Summary of one scenario's file on record (the ``repro store`` listing)."""
+    """Summary of one scenario cell on record (the ``repro store`` listing)."""
 
     scenario: Scenario
     hash: str
@@ -92,8 +160,233 @@ class StoreRecord:
         }
 
 
-class ResultStore:
-    """Append-only JSONL store of per-replication outcomes, keyed by scenario hash."""
+@dataclass(frozen=True)
+class StoreCapabilities:
+    """What a backend can do, for dispatch decisions and the README table."""
+
+    indexed_counts: bool  #: ``cached_count`` without reading result payloads
+    eviction: bool  #: supports TTL / max-row eviction for always-on servers
+    multiprocess: bool  #: concurrent writers across OS processes are safe
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What :meth:`StoreBackend.compact` reclaimed."""
+
+    scenarios: int = 0
+    records_dropped: int = 0
+    lock_files_removed: int = 0
+    runs_evicted: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenarios": self.scenarios,
+            "records_dropped": self.records_dropped,
+            "lock_files_removed": self.lock_files_removed,
+            "runs_evicted": self.runs_evicted,
+        }
+
+
+class StoreBackend(ABC):
+    """Abstract result store: per-scenario-hash sets of completed replications.
+
+    See the module docstring for the storage and locking contracts.  All
+    methods must be callable from any thread; ``append`` must additionally be
+    safe under concurrent writers (threads *and* processes for backends that
+    declare ``capabilities.multiprocess``).
+    """
+
+    #: Registry name; doubles as the spec-grammar scheme (``name:location``).
+    name: str = ""
+    capabilities: StoreCapabilities = StoreCapabilities(
+        indexed_counts=False, eviction=False, multiprocess=False
+    )
+
+    # ------------------------------------------------------------- required
+    @abstractmethod
+    def load(self, scenario: Scenario) -> dict[int, StoredRun]:
+        """Completed replications on record for ``scenario``, by index.
+
+        Replications whose recorded seed disagrees with the scenario's seed
+        derivation are ignored (treated as missing) — that cannot happen
+        through this store's own writes, but it keeps a hand-edited or
+        corrupted cell from silently poisoning a resumed sweep.  Corrupt
+        records are skipped, never raised.
+        """
+
+    @abstractmethod
+    def append(self, scenario: Scenario, runs: Sequence[StoredRun]) -> None:
+        """Persist newly completed replications (see the locking contract).
+
+        A replication appended twice resolves last-write-wins on ``load``.
+        """
+
+    @abstractmethod
+    def run_index(self, scenario: Scenario) -> dict[int, RunMeta]:
+        """Lightweight per-replication index (no result payloads).
+
+        Entries are *not* seed-validated — callers filter against
+        ``scenario.seeds()`` themselves — so one cached index can serve
+        scenarios differing only in replication count.
+        """
+
+    @abstractmethod
+    def scenarios_on_record(self) -> list[Scenario]:
+        """The scenarios whose cells exist in this store (sorted by hash)."""
+
+    @abstractmethod
+    def scenario_for_hash(self, content_hash: str) -> Scenario | None:
+        """Resolve a content hash back to the scenario recorded for it.
+
+        The hash may reach this method straight from a URL path segment
+        (``GET /results/<hash>``), so anything that is not a well-formed
+        :meth:`Scenario.content_hash` digest must be rejected *before* any
+        filesystem or query use — a traversal payload must never escape the
+        store.
+        """
+
+    @abstractmethod
+    def compact(self) -> CompactionReport:
+        """Reclaim space: drop corrupt/duplicate records, locks, evictees."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """The store spec string that reopens this backend (``name:location``)."""
+
+    # -------------------------------------------------------------- derived
+    def cached_count(self, scenario: Scenario) -> int:
+        """How many of ``scenario``'s replications are on record.
+
+        Counts seed-valid replication indices below
+        ``scenario.replications``.  Indexed backends override this with an
+        O(1) metadata probe that MAY over-count hand-corrupted rows —
+        ``load`` stays the authority on what is actually servable.
+        """
+        expected = scenario.seeds()
+        return sum(
+            1
+            for replication, meta in self.run_index(scenario).items()
+            if replication < scenario.replications and meta.seed == expected[replication]
+        )
+
+    def summaries(self) -> list[StoreRecord]:
+        """One :class:`StoreRecord` per scenario on record (sorted by hash)."""
+        records = []
+        for scenario in self.scenarios_on_record():
+            runs = self.load(scenario)
+            records.append(
+                StoreRecord(
+                    scenario=scenario,
+                    hash=scenario.content_hash(),
+                    replications_on_record=len(runs),
+                    solved_runs=sum(1 for run in runs.values() if run.result.solved),
+                )
+            )
+        return records
+
+    def close(self) -> None:
+        """Release backend resources; further use is undefined."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging cosmetics
+        return f"{type(self).__name__}({self.describe()!r})"
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def from_spec(cls, location: str) -> "StoreBackend":
+        """Build from the grammar's location part (``<name>:<location>``)."""
+        return cls(location)  # type: ignore[call-arg]
+
+
+# --------------------------------------------------------------------------
+# Backend registry and the store-selection grammar
+# --------------------------------------------------------------------------
+
+_BACKENDS: dict[str, type[StoreBackend]] = {}
+_builtin_backends_loaded = False
+
+
+def register_store_backend(cls: type[StoreBackend]) -> type[StoreBackend]:
+    """Class decorator: add a backend to the ``name:location`` grammar."""
+    if not cls.name:
+        raise ValueError(f"store backend {cls.__name__} must declare a name")
+    existing = _BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"store backend name {cls.name!r} is already registered")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def _ensure_builtin_backends() -> None:
+    """Import modules that register the built-in backends (cycle-free lazily)."""
+    global _builtin_backends_loaded
+    if _builtin_backends_loaded:
+        return
+    from repro.scenarios import store_sqlite  # noqa: F401 - registers SqliteStore
+
+    _builtin_backends_loaded = True
+
+
+def available_store_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (``('jsonl', 'sqlite')`` out of the box)."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_BACKENDS))
+
+
+def parse_store_spec(spec: str) -> tuple[str, str]:
+    """Split a store spec into ``(backend name, location)``.
+
+    ``jsonl:path`` and ``sqlite:path.db`` select backends explicitly; a bare
+    path — including Windows drive paths, whose one-letter "scheme" is never
+    a registered backend — defaults to JSONL.
+    """
+    _ensure_builtin_backends()
+    scheme, sep, rest = spec.partition(":")
+    if sep and rest and scheme in _BACKENDS:
+        return scheme, rest
+    return JsonlStore.name, spec
+
+
+def open_store(target: "str | Path | StoreBackend") -> StoreBackend:
+    """Resolve a store target to a live :class:`StoreBackend`.
+
+    Accepts an already-built backend (returned as-is), a ``Path`` (JSONL
+    directory), or a spec string in the grammar documented in the module
+    docstring.
+    """
+    if isinstance(target, StoreBackend):
+        return target
+    if isinstance(target, Path):
+        return JsonlStore(target)
+    name, location = parse_store_spec(str(target))
+    return _BACKENDS[name].from_spec(location)
+
+
+# --------------------------------------------------------------------------
+# JSONL backend (the historical ResultStore, re-homed)
+# --------------------------------------------------------------------------
+
+
+@register_store_backend
+class JsonlStore(StoreBackend):
+    """Append-only per-hash JSONL files under one root directory.
+
+    Layout: ``<root>/<content-hash>.jsonl``.  Line 1 is a self-describing
+    header carrying the scenario that produced the cell; every further line
+    records one completed replication.  Appending line-by-line makes
+    interruption safe by construction: a run killed mid-sweep leaves
+    complete lines for the replications that finished, and a torn final line
+    is detected by the JSON parser and ignored.
+
+    Reads are served through a per-hash parse cache invalidated on any
+    mtime/size change of the cell file, so a repeated cache probe (the
+    service's ``POST /scenarios`` fast path) costs one ``stat`` instead of
+    re-parsing the whole file.
+    """
+
+    name = "jsonl"
+    capabilities = StoreCapabilities(
+        indexed_counts=False, eviction=False, multiprocess=fcntl is not None
+    )
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -101,9 +394,23 @@ class ResultStore:
         # Serialises writers within this process even where fcntl is missing;
         # cheap enough to hold across the flock on POSIX too.
         self._write_lock = threading.Lock()
+        # hash -> ((mtime_ns, size), raw runs-by-replication); LRU-bounded.
+        self._cache: OrderedDict[str, tuple[tuple[int, int], dict[int, StoredRun]]] = (
+            OrderedDict()
+        )
+        # (hash, replications) -> ((mtime_ns, size), validated count).  Kept
+        # separately from the parse cache because the count also depends on
+        # the requested replication budget and its (derived) seed prefix.
+        self._count_cache: OrderedDict[tuple[str, int], tuple[tuple[int, int], int]] = (
+            OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.content_hash()}.jsonl"
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.root}"
 
     @contextmanager
     def _locked(self, path: Path) -> Iterator[None]:
@@ -120,18 +427,10 @@ class ResultStore:
                 finally:
                     fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
 
-    def load(self, scenario: Scenario) -> dict[int, StoredRun]:
-        """Return the completed replications on record for ``scenario``.
-
-        Replications whose recorded seed disagrees with the scenario's seed
-        derivation are ignored (treated as missing) — that cannot happen
-        through this store's own writes, but it keeps a hand-edited or
-        corrupted file from silently poisoning a resumed sweep.
-        """
-        path = self.path_for(scenario)
-        if not path.exists():
-            return {}
-        expected_seeds = scenario.seeds()
+    # -------------------------------------------------------------- reading
+    @staticmethod
+    def _parse_runs(path: Path) -> dict[int, StoredRun]:
+        """All run records in a cell file, last-write-wins, seed-unvalidated."""
         runs: dict[int, StoredRun] = {}
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -142,21 +441,101 @@ class ResultStore:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn tail of an interrupted write
-                if record.get("kind") != "run":
+                if not isinstance(record, dict) or record.get("kind") != "run":
                     continue
-                replication = int(record["replication"])
-                seed = int(record["seed"])
-                if replication < len(expected_seeds) and seed != expected_seeds[replication]:
-                    continue
-                runs[replication] = StoredRun(
-                    replication=replication,
-                    seed=seed,
-                    elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
-                    result=SimulationResult.from_dict(record["result"]),
-                )
+                try:
+                    run = StoredRun(
+                        replication=int(record["replication"]),
+                        seed=int(record["seed"]),
+                        elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                        result=SimulationResult.from_dict(record["result"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed record: missing, not fatal
+                runs[run.replication] = run
         return runs
 
-    def append(self, scenario: Scenario, runs: list[StoredRun]) -> None:
+    def _cell_runs(self, scenario: Scenario) -> dict[int, StoredRun]:
+        """The cell's raw runs, via the mtime/size-invalidated parse cache."""
+        path = self.path_for(scenario)
+        key = scenario.content_hash()
+        try:
+            stat = path.stat()
+        except OSError:
+            with self._cache_lock:
+                self._cache.pop(key, None)
+            return {}
+        signature = (stat.st_mtime_ns, stat.st_size)
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is not None and entry[0] == signature:
+                self._cache.move_to_end(key)
+                return entry[1]
+        runs = self._parse_runs(path)
+        with self._cache_lock:
+            self._cache[key] = (signature, runs)
+            self._cache.move_to_end(key)
+            while len(self._cache) > _JSONL_CACHE_ENTRIES:
+                self._cache.popitem(last=False)
+        return runs
+
+    def load(self, scenario: Scenario) -> dict[int, StoredRun]:
+        expected_seeds = scenario.seeds()
+        return {
+            replication: run
+            for replication, run in self._cell_runs(scenario).items()
+            if replication >= len(expected_seeds) or run.seed == expected_seeds[replication]
+        }
+
+    def cached_count(self, scenario: Scenario) -> int:
+        """Seed-validated count, memoised per ``(hash, replications)``.
+
+        The memo follows the same mtime/size invalidation rule as the parse
+        cache, so the service's repeated ``POST /scenarios`` cache-hit probe
+        costs one ``stat`` — not a file parse plus an O(replications) seed
+        derivation.
+        """
+        key = (scenario.content_hash(), scenario.replications)
+        path = self.path_for(scenario)
+        try:
+            stat = path.stat()
+        except OSError:
+            with self._cache_lock:
+                self._count_cache.pop(key, None)
+            return 0
+        signature = (stat.st_mtime_ns, stat.st_size)
+        with self._cache_lock:
+            entry = self._count_cache.get(key)
+            if entry is not None and entry[0] == signature:
+                self._count_cache.move_to_end(key)
+                return entry[1]
+        count = super().cached_count(scenario)
+        try:
+            stat = path.stat()
+        except OSError:
+            return count
+        if (stat.st_mtime_ns, stat.st_size) != signature:
+            return count  # concurrent append mid-computation: don't memoise
+        with self._cache_lock:
+            self._count_cache[key] = (signature, count)
+            self._count_cache.move_to_end(key)
+            while len(self._count_cache) > _JSONL_CACHE_ENTRIES:
+                self._count_cache.popitem(last=False)
+        return count
+
+    def run_index(self, scenario: Scenario) -> dict[int, RunMeta]:
+        return {
+            replication: RunMeta(
+                replication=replication,
+                seed=run.seed,
+                engine=run.result.engine,
+                batch_reps=_batch_reps(run.result),
+            )
+            for replication, run in self._cell_runs(scenario).items()
+        }
+
+    # -------------------------------------------------------------- writing
+    def append(self, scenario: Scenario, runs: Sequence[StoredRun]) -> None:
         """Persist newly completed replications (writing the header if new).
 
         The whole operation — tail inspection, torn-line healing, header
@@ -180,37 +559,23 @@ class ResultStore:
                     handle.seek(-1, 2)
                     needs_leading_newline = handle.read(1) != b"\n"
             if is_new_file:
-                lines.append(
-                    json.dumps(
-                        {
-                            "kind": "scenario",
-                            "hash": scenario.content_hash(),
-                            "scenario": scenario.to_dict(),
-                        },
-                        sort_keys=True,
-                    )
-                )
+                lines.append(_header_line(scenario))
             for run in sorted(runs, key=lambda run: run.replication):
-                lines.append(
-                    json.dumps(
-                        {
-                            "kind": "run",
-                            "replication": run.replication,
-                            "seed": run.seed,
-                            "elapsed_seconds": run.elapsed_seconds,
-                            "result": run.result.to_dict(),
-                        },
-                        sort_keys=True,
-                    )
-                )
+                lines.append(_run_line(run))
             with path.open("a", encoding="utf-8") as handle:
                 payload = "\n".join(lines) + "\n"
                 if needs_leading_newline:
                     payload = "\n" + payload
                 handle.write(payload)
+        content_hash = scenario.content_hash()
+        with self._cache_lock:
+            self._cache.pop(content_hash, None)
+            for key in [k for k in self._count_cache if k[0] == content_hash]:
+                del self._count_cache[key]
 
+    # ------------------------------------------------------------- listings
     def scenarios_on_record(self) -> list[Scenario]:
-        """Return the scenarios whose stores exist under this root."""
+        """Scenarios whose cells exist under this root (locks never listed)."""
         scenarios = []
         for path in sorted(self.root.glob("*.jsonl")):
             scenario = self._scenario_from_header(path)
@@ -219,13 +584,6 @@ class ResultStore:
         return scenarios
 
     def scenario_for_hash(self, content_hash: str) -> Scenario | None:
-        """Resolve a content hash back to the scenario recorded in its header.
-
-        The hash reaches this method straight from a URL path segment
-        (``GET /results/<hash>``), so anything that is not a well-formed
-        :meth:`Scenario.content_hash` digest is rejected *before* the path
-        join — a traversal payload must never escape the store root.
-        """
         if not _HASH_RE.fullmatch(content_hash):
             return None
         path = self.root / f"{content_hash}.jsonl"
@@ -233,25 +591,59 @@ class ResultStore:
             return None
         return self._scenario_from_header(path)
 
-    def summaries(self) -> list[StoreRecord]:
-        """One :class:`StoreRecord` per scenario on record (sorted by hash)."""
-        records = []
-        for scenario in self.scenarios_on_record():
-            runs = self.load(scenario)
-            records.append(
-                StoreRecord(
-                    scenario=scenario,
-                    hash=scenario.content_hash(),
-                    replications_on_record=len(runs),
-                    solved_runs=sum(1 for run in runs.values() if run.result.solved),
-                )
-            )
-        return records
+    # ----------------------------------------------------------- janitorial
+    def clean_locks(self) -> int:
+        """Delete ``*.jsonl.lock`` sidecars; returns how many were removed.
+
+        Safe only while no writer is mid-append on this root (a deleted lock
+        file stops serialising writers that re-open it), which is why it runs
+        from compaction and migration — offline moments — rather than after
+        every append.
+        """
+        removed = 0
+        for lock_path in self.root.glob("*.jsonl.lock"):
+            try:
+                lock_path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced by a concurrent writer
+                continue
+        return removed
+
+    def compact(self) -> CompactionReport:
+        """Rewrite every cell dropping torn/duplicate records; drop lock litter."""
+        scenarios = 0
+        dropped = 0
+        for path in sorted(self.root.glob("*.jsonl")):
+            scenario = self._scenario_from_header(path)
+            if scenario is None:
+                continue  # no trustworthy header: leave the file untouched
+            with self._locked(path):
+                with path.open("r", encoding="utf-8") as handle:
+                    original_lines = sum(1 for line in handle if line.strip())
+                runs = self._parse_runs(path)
+                lines = [_header_line(scenario)]
+                lines.extend(_run_line(run) for _, run in sorted(runs.items()))
+                temp = path.with_name(path.name + ".compact")
+                temp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+                temp.replace(path)
+            scenarios += 1
+            dropped += max(0, original_lines - (1 + len(runs)))
+        with self._cache_lock:
+            self._cache.clear()
+            self._count_cache.clear()
+        return CompactionReport(
+            scenarios=scenarios,
+            records_dropped=dropped,
+            lock_files_removed=self.clean_locks(),
+        )
 
     @staticmethod
     def _scenario_from_header(path: Path) -> Scenario | None:
-        with path.open("r", encoding="utf-8") as handle:
-            first = handle.readline().strip()
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                first = handle.readline().strip()
+        except OSError:  # pragma: no cover - raced removal
+            return None
         if not first:
             return None
         try:
@@ -260,4 +652,42 @@ class ResultStore:
             return None
         if record.get("kind") != "scenario":
             return None
-        return Scenario.from_dict(record["scenario"])
+        try:
+            return Scenario.from_dict(record["scenario"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def _batch_reps(result: SimulationResult) -> int | None:
+    """The batch composition a result was produced under, if any."""
+    batch_reps = result.metadata.get("batch_reps")
+    return int(batch_reps) if isinstance(batch_reps, int) else None
+
+
+def _header_line(scenario: Scenario) -> str:
+    return json.dumps(
+        {
+            "kind": "scenario",
+            "hash": scenario.content_hash(),
+            "scenario": scenario.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+def _run_line(run: StoredRun) -> str:
+    return json.dumps(
+        {
+            "kind": "run",
+            "replication": run.replication,
+            "seed": run.seed,
+            "elapsed_seconds": run.elapsed_seconds,
+            "result": run.result.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+#: Backwards-compatible alias: the concrete class every pre-interface caller
+#: constructed directly.  ``ResultStore(root)`` is a ``JsonlStore``.
+ResultStore = JsonlStore

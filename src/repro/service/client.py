@@ -20,9 +20,15 @@ import json
 import time
 import urllib.error
 import urllib.request
+from typing import TYPE_CHECKING
 
 from repro.scenarios.scenario import Scenario
 from repro.service.wire import JOB_FAILED, JobStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+
+    from repro.scenarios.store import StoredRun
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -136,6 +142,21 @@ class ServiceClient:
     def result(self, content_hash: str) -> dict[str, object]:
         """Completed ``ResultSet.to_dict()`` payload for a scenario hash."""
         return self._request(f"/results/{content_hash}")
+
+    def push_runs(self, scenario: Scenario, runs: "Sequence[StoredRun]") -> dict[str, object]:
+        """Offer completed replications to the server (federation ingest).
+
+        ``POST /results/<hash>``: the server diffs against its own store and
+        adds only what it is missing, so pushing is idempotent.  The payload
+        reports ``received`` / ``added`` / ``rejected`` counts.
+        """
+        from repro.service.wire import dump_results_body
+
+        return self._request(
+            f"/results/{scenario.content_hash()}",
+            body=dump_results_body(scenario, list(runs)),
+            content_type="application/json",
+        )
 
     def run(self, scenario: Scenario | str, timeout: float | None = 300.0) -> dict[str, object]:
         """Submit, wait, and fetch the full result payload in one call."""

@@ -14,7 +14,12 @@ shared :class:`~repro.scenarios.session.Session`:
 ``GET /results/<hash>``   completed ``ResultSet.to_dict()`` payload for a
                           scenario content hash (from a finished job or
                           straight from the result store)
-``GET /store``            the store listing (one record per scenario file)
+``POST /results/<hash>``  federation ingest: merge externally produced
+                          replications into the server's store (diffed by
+                          replication index; existing results are never
+                          overwritten) — what :func:`repro.scenarios.
+                          federation.sync` uses to push to a server
+``GET /store``            the store listing (one record per scenario cell)
 ``GET /healthz``          liveness + job counts
 ========================  ====================================================
 
@@ -34,7 +39,7 @@ from pathlib import Path
 from repro.scenarios.session import Session
 from repro.scenarios.spec import SpecError
 from repro.service.jobs import JobManager
-from repro.service.wire import dump_json, parse_scenario_body
+from repro.service.wire import dump_json, parse_results_body, parse_scenario_body
 
 __all__ = ["ReproServer", "create_server", "serve"]
 
@@ -112,11 +117,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
-        if self.path.rstrip("/") != "/scenarios":
-            self._error(404, f"unknown path {self.path!r}")
-            return
+        path = self.path.rstrip("/")
         length = int(self.headers.get("Content-Length", 0))
         body = self.rfile.read(length)
+        if path.startswith("/results/"):
+            self._post_result(path.removeprefix("/results/"), body)
+            return
+        if path != "/scenarios":
+            self._error(404, f"unknown path {self.path!r}")
+            return
         try:
             scenario = parse_scenario_body(body, self.headers.get("Content-Type"))
         except (SpecError, ValueError, KeyError) as error:
@@ -141,7 +150,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "status": "ok",
                 "version": __version__,
-                "store": str(session.store.root) if session.store is not None else None,
+                "store": session.store.describe() if session.store is not None else None,
                 "jobs": self.server.jobs.counts(),
             },
         )
@@ -181,6 +190,42 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send(200, stored.to_dict())
+
+    def _post_result(self, content_hash: str, body: bytes) -> None:
+        """Federation ingest: merge pushed replications into the store."""
+        session = self.server.session
+        if session.store is None:
+            self._error(409, "server has no result store to ingest into")
+            return
+        try:
+            scenario, runs = parse_results_body(body)
+        except (SpecError, ValueError, KeyError, TypeError) as error:
+            self._error(400, f"bad results body: {error}")
+            return
+        if scenario.content_hash() != content_hash:
+            self._error(
+                400,
+                f"scenario hashes to {scenario.content_hash()!r}, "
+                f"not the requested {content_hash!r}",
+            )
+            return
+        expected_seeds = scenario.seeds()
+        valid = [
+            run
+            for run in runs
+            if run.replication >= len(expected_seeds)
+            or run.seed == expected_seeds[run.replication]
+        ]
+        added = session.ingest(scenario, valid)
+        self._send(
+            200,
+            {
+                "hash": content_hash,
+                "received": len(runs),
+                "added": added,
+                "rejected": len(runs) - len(valid),
+            },
+        )
 
 
 def create_server(

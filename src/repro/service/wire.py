@@ -27,7 +27,9 @@ __all__ = [
     "JOB_FAILED",
     "JOB_STATES",
     "JobStatus",
+    "parse_results_body",
     "parse_scenario_body",
+    "dump_results_body",
 ]
 
 #: Job lifecycle: queued → running → done | failed.  Cached submissions are
@@ -105,6 +107,55 @@ def parse_scenario_body(body: bytes, content_type: str | None = None) -> Scenari
     if "\n" in text and "=" in text:
         return Scenario.from_toml(text)
     return Scenario.parse(text)
+
+
+def parse_results_body(body: bytes) -> tuple[Scenario, list["StoredRun"]]:
+    """Parse a ``POST /results/<hash>`` federation-ingest body.
+
+    The body is ``{"scenario": <scenario dict>, "runs": [{"replication",
+    "seed", "elapsed_seconds", "result"}, ...]}`` — the same per-run shape
+    the JSONL store records, which is what :func:`dump_results_body`
+    produces on the sending side.  Raises :class:`ValueError`/
+    :class:`KeyError` on malformed input (the server maps both to 400).
+    """
+    from repro.engine.result import SimulationResult
+    from repro.scenarios.store import StoredRun
+
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("results body must be a JSON object")
+    scenario = Scenario.from_dict(payload["scenario"])
+    raw_runs = payload["runs"]
+    if not isinstance(raw_runs, list):
+        raise ValueError("results body 'runs' must be a list")
+    runs = [
+        StoredRun(
+            replication=int(record["replication"]),
+            seed=int(record["seed"]),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            result=SimulationResult.from_dict(record["result"]),
+        )
+        for record in raw_runs
+    ]
+    return scenario, runs
+
+
+def dump_results_body(scenario: Scenario, runs: "list[StoredRun]") -> bytes:
+    """Encode a federation-ingest body (inverse of :func:`parse_results_body`)."""
+    return dump_json(
+        {
+            "scenario": scenario.to_dict(),
+            "runs": [
+                {
+                    "replication": run.replication,
+                    "seed": run.seed,
+                    "elapsed_seconds": run.elapsed_seconds,
+                    "result": run.result.to_dict(),
+                }
+                for run in runs
+            ],
+        }
+    )
 
 
 def dump_json(payload: object) -> bytes:

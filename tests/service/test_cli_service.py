@@ -86,6 +86,93 @@ class TestStoreCommand:
         assert main(["store", str(tmp_path / "absent")]) == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_lists_sqlite_store_via_spec(self, capsys, tmp_path):
+        spec = f"sqlite:{tmp_path / 'store.db'}"
+        Session(store_dir=spec).run(Scenario.parse(SPEC))
+        assert main(["store", spec]) == 0
+        output = capsys.readouterr().out
+        assert Scenario.parse(SPEC).content_hash() in output
+        assert "3/3" in output
+
+    def test_missing_sqlite_store_is_clean_error(self, capsys, tmp_path):
+        assert main(["store", f"sqlite:{tmp_path / 'absent.db'}"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestStoreMigrateCommand:
+    def test_migrate_jsonl_to_sqlite_then_serves_cached(self, capsys, tmp_path):
+        src = tmp_path / "src"
+        dst = f"sqlite:{tmp_path / 'dst.db'}"
+        Session(store_dir=src).run(Scenario.parse(SPEC))
+        assert main(["store", "migrate", str(src), dst]) == 0
+        assert "migrated 3 replication(s) across 1 scenario(s)" in capsys.readouterr().out
+        # The migrated store serves the scenario with zero new simulations.
+        assert main(["run", SPEC, "--store", dst, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new_runs"] == 0
+        assert payload["cached_runs"] == 3
+
+    def test_migrate_is_idempotent(self, capsys, tmp_path):
+        src = tmp_path / "src"
+        dst = f"sqlite:{tmp_path / 'dst.db'}"
+        Session(store_dir=src).run(Scenario.parse(SPEC))
+        assert main(["store", "migrate", str(src), dst, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["store", "migrate", str(src), dst, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["replications_copied"] == 3
+        assert second["replications_copied"] == 0
+
+    def test_migrate_cleans_lock_sidecars(self, capsys, tmp_path):
+        src = tmp_path / "src"
+        Session(store_dir=src).run(Scenario.parse(SPEC))
+        assert list(src.glob("*.jsonl.lock"))
+        assert main(["store", "migrate", str(src), f"sqlite:{tmp_path / 'dst.db'}"]) == 0
+        assert not list(src.glob("*.jsonl.lock"))
+
+    def test_migrate_missing_source_is_clean_error(self, capsys, tmp_path):
+        assert main(["store", "migrate", str(tmp_path / "absent"), str(tmp_path / "d")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_migrate_usage_error(self, capsys, tmp_path):
+        assert main(["store", "migrate", str(tmp_path)]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_migrate_to_running_server(self, capsys, tmp_path, server):
+        src = tmp_path / "src"
+        Session(store_dir=src).run(Scenario.parse(SPEC))
+        assert main(["store", "migrate", str(src), server.url]) == 0
+        assert "migrated 3 replication(s)" in capsys.readouterr().out
+        assert main(["submit", SPEC, "--url", server.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cached"] is True
+        assert payload["new_runs"] == 0
+
+
+class TestStoreCompactCommand:
+    def test_compact_reports_and_preserves(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        Session(store_dir=store_dir).run(Scenario.parse(SPEC))
+        assert main(["store", "compact", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 scenario(s)" in out
+        assert "1 lock file(s) removed" in out
+        assert main(["run", SPEC, "--store", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new_runs"] == 0
+
+
+class TestRunWithSqliteStore:
+    def test_run_resumes_from_sqlite_spec(self, capsys, tmp_path):
+        spec = f"sqlite:{tmp_path / 'results.db'}"
+        assert main(["run", SPEC, "--store", spec, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["new_runs"] == 3
+        assert main(["run", SPEC, "--store", spec, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["new_runs"] == 0
+        assert second["cached_runs"] == 3
+
 
 class TestServeParser:
     def test_serve_flags_parse(self):

@@ -155,6 +155,98 @@ class TestErrors:
             unreachable.health()
 
 
+class TestResultsIngest:
+    """The federation receive path: ``POST /results/<hash>``."""
+
+    @staticmethod
+    def _runs_from_session(tmp_path):
+        from repro.scenarios import open_store
+
+        scenario = Scenario.parse(SPEC)
+        store = open_store(tmp_path / "donor")
+        Session(store_dir=store).run(scenario)
+        return scenario, [run for _, run in sorted(store.load(scenario).items())]
+
+    def test_push_then_submit_is_cached(self, tmp_path, client):
+        scenario, runs = self._runs_from_session(tmp_path)
+        payload = client.push_runs(scenario, runs)
+        assert payload == {
+            "hash": scenario.content_hash(),
+            "received": 3,
+            "added": 3,
+            "rejected": 0,
+        }
+        status = client.submit(scenario)
+        assert status.cached is True
+        assert client.result(scenario.content_hash())["new_runs"] == 0
+
+    def test_repeat_push_adds_nothing(self, tmp_path, client):
+        scenario, runs = self._runs_from_session(tmp_path)
+        assert client.push_runs(scenario, runs)["added"] == 3
+        assert client.push_runs(scenario, runs)["added"] == 0
+
+    def test_seed_invalid_runs_are_rejected_not_stored(self, tmp_path, client):
+        from dataclasses import replace
+
+        scenario, runs = self._runs_from_session(tmp_path)
+        forged = [replace(runs[0], seed=runs[0].seed + 1)]
+        payload = client.push_runs(scenario, forged)
+        assert payload["added"] == 0
+        assert payload["rejected"] == 1
+        assert client.store_records() == []
+
+    def test_hash_mismatch_is_400(self, tmp_path, client):
+        from repro.service.wire import dump_results_body
+
+        scenario, runs = self._runs_from_session(tmp_path)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "/results/feedfacecafebeef",
+                body=dump_results_body(scenario, runs),
+                content_type="application/json",
+            )
+        assert excinfo.value.status == 400
+
+    def test_malformed_body_is_400(self, client):
+        scenario = Scenario.parse(SPEC)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                f"/results/{scenario.content_hash()}",
+                body=b'{"not": "a results body"}',
+                content_type="application/json",
+            )
+        assert excinfo.value.status == 400
+
+    def test_storeless_server_is_409(self, tmp_path):
+        storeless = create_server(port=0, store_dir=None, quiet=True)
+        storeless.start_background()
+        try:
+            scenario, runs = self._runs_from_session(tmp_path)
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(storeless.url).push_runs(scenario, runs)
+            assert excinfo.value.status == 409
+        finally:
+            storeless.close()
+
+
+class TestSqliteBackedServer:
+    def test_serves_and_ingests_with_sqlite_store(self, tmp_path):
+        server = create_server(
+            port=0, store_dir=f"sqlite:{tmp_path / 'store.db'}", quiet=True
+        )
+        server.start_background()
+        client = ServiceClient(server.url)
+        try:
+            assert str(client.health()["store"]).startswith("sqlite:")
+            first = client.submit(SPEC)
+            client.wait(first.id, timeout=60.0)
+            second = client.submit(SPEC)
+            assert second.cached is True
+            assert client.result(second.hash)["cached_runs"] == 3
+        finally:
+            server.close()
+
+
 class TestDedupOverHttp:
     def test_second_submission_attaches_while_first_queued(self, tmp_path):
         """Deterministic dedup: no worker threads, so the first stays queued."""
