@@ -8,7 +8,10 @@
 # sweeps, then a Session-store smoke run proving that a repeated scenario
 # execution is served entirely from the result store, a store-migration smoke
 # (JSONL -> SQLite federation, re-served with 0 new simulations), and a
-# simulation-service smoke (cached resubmission over HTTP).
+# simulation-service smoke (cached resubmission over HTTP).  The smoke-marked
+# benchmark set includes bench_faults.py (crash-recovery time + zero-duplicate
+# chaos assertions -> benchmark_results/BENCH_faults.json), and the chaos-
+# marked test subset re-runs the deterministic fault-injection suite.
 # The full batch-speedup trajectories (write benchmark_results/BENCH_batch.json
 # and benchmark_results/BENCH_batch_window.json) run with:
 #   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
@@ -16,6 +19,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"
+
+# --- Chaos smoke -------------------------------------------------------------
+# The deterministic fault-injection subset: journal replay after crashes,
+# retry/resume under injected store faults, bounded-queue 503 backoff.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest tests -q -m chaos --override-ini addopts= -p no:cacheprovider
 
 # --- Session-store smoke -----------------------------------------------------
 # First invocation populates the store; the second must report 0 new

@@ -209,6 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             job_workers=args.job_workers,
             batch=args.batch,
             quiet=args.quiet,
+            max_queue=args.max_queue,
         )
     except OSError as error:  # e.g. port already in use, privileged port
         return _scenario_error(error)
@@ -218,13 +219,28 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
     from repro.service.wire import JOB_FAILED
 
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.cancel is not None:
+        try:
+            payload = client.cancel(args.cancel)
+        except ServiceError as error:
+            print(f"repro: service error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            verb = "cancelled" if payload.get("cancelled") else "cancelling"
+            print(f"job {args.cancel}: {verb}")
+        return 0
+    if args.scenario is None:
+        print("repro: error: a scenario (or --cancel JOB_ID) is required", file=sys.stderr)
+        return 2
     try:
         scenario = _load_scenario(args)
     except (SpecError, KeyError, ValueError, OSError) as error:
         return _scenario_error(error)
-    client = ServiceClient(args.url, timeout=args.timeout)
     try:
-        status = client.submit(scenario)
+        status = client.submit(scenario, deadline=args.deadline)
         # The disposition flags are per-submission, not per-job: a later
         # status poll never carries them, so capture them now.
         cached, deduplicated = status.cached, status.deduplicated
@@ -332,6 +348,7 @@ def _store_migrate(targets: list[str], json_output: bool) -> int:
     """``repro store migrate <src> <dst>``: federation sync + lock cleanup."""
     from repro.scenarios.federation import resolve_store, sync
     from repro.scenarios.store import JsonlStore
+    from repro.service.reliability import RetryPolicy
 
     if len(targets) != 2:
         print("repro: error: usage: repro store migrate <src> <dst>", file=sys.stderr)
@@ -342,7 +359,7 @@ def _store_migrate(targets: list[str], json_output: bool) -> int:
         print(f"repro: error: store directory {missing} does not exist", file=sys.stderr)
         return 2
     try:
-        report = sync(source, destination)
+        report = sync(source, destination, retry=RetryPolicy())
     except Exception as error:  # noqa: BLE001 - surfaced as a one-line CLI error
         return _scenario_error(error)
     # Migration is an offline moment: clear accumulated lock-sidecar litter
@@ -360,6 +377,13 @@ def _store_migrate(targets: list[str], json_output: bool) -> int:
             f"({report.scenarios_examined} examined) "
             f"from {report.source} to {report.destination}"
         )
+    if report.scenarios_failed:
+        print(
+            f"repro: warning: {report.scenarios_failed} scenario(s) failed to "
+            "copy (sync is idempotent — rerun to resume with just those)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -513,6 +537,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="vectorise batch-eligible cells (--no-batch replays per-run streams)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound on accepted-but-unstarted jobs; a full queue answers "
+        "503 + Retry-After instead of accepting unbounded work",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = subparsers.add_parser(
@@ -523,9 +554,27 @@ def build_parser() -> argparse.ArgumentParser:
         "to one in-flight job; scenarios already on the server's store are answered "
         "without simulating.",
     )
-    submit.add_argument("scenario", help="scenario spec string or path to a .toml/.json file")
+    submit.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario spec string or path to a .toml/.json file",
+    )
     submit.add_argument(
         "--url", default="http://127.0.0.1:8765", help="service base URL (repro serve)"
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds; the server cancels the "
+        "job if it outlives this (completed replications stay stored)",
+    )
+    submit.add_argument(
+        "--cancel",
+        metavar="JOB_ID",
+        default=None,
+        help="cancel the given job instead of submitting (DELETE /jobs/<id>)",
     )
     submit.add_argument(
         "--replications", "--reps", type=int, default=None, help="override the replication count"

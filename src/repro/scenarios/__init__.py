@@ -9,8 +9,10 @@ This package is the spec-driven front door to the whole library:
 * :mod:`repro.scenarios.store` — pluggable result-store backends behind the
   :class:`StoreBackend` contract: the per-scenario JSONL store
   (:class:`JsonlStore`), the indexed SQLite store
-  (:class:`~repro.scenarios.store_sqlite.SqliteStore`), and the
-  ``jsonl:``/``sqlite:`` selection grammar (:func:`open_store`);
+  (:class:`~repro.scenarios.store_sqlite.SqliteStore`), the deterministic
+  fault-injecting ``chaos:`` wrapper
+  (:class:`~repro.scenarios.store_chaos.ChaosStore`), and the
+  ``jsonl:``/``sqlite:``/``chaos:`` selection grammar (:func:`open_store`);
 * :mod:`repro.scenarios.federation` — cross-store sync by content hash
   (:func:`sync_stores`), disk↔disk or against a running simulation service;
 * :mod:`repro.scenarios.session` — the :class:`Session` service that plans,
@@ -50,6 +52,7 @@ from repro.scenarios.store import (
     parse_store_spec,
     register_store_backend,
 )
+from repro.scenarios.store_chaos import ChaosStore
 from repro.scenarios.store_sqlite import SqliteStore
 
 __all__ = [
@@ -61,6 +64,7 @@ __all__ = [
     "StoreBackend",
     "JsonlStore",
     "SqliteStore",
+    "ChaosStore",
     "RemoteStore",
     "ResultStore",
     "StoredRun",

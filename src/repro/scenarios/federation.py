@@ -27,11 +27,16 @@ it with **zero** new simulations.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.engine.result import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.reliability import RetryPolicy
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import (
     CompactionReport,
@@ -46,13 +51,21 @@ __all__ = ["RemoteStore", "SyncReport", "resolve_store", "sync"]
 
 @dataclass(frozen=True)
 class SyncReport:
-    """What one :func:`sync` call moved from source to destination."""
+    """What one :func:`sync` call moved from source to destination.
+
+    ``scenarios_failed``/``failures`` record per-scenario copy failures that
+    survived the retry policy — the rest of the sync still completed, and
+    because :func:`sync` is idempotent, re-running it resumes with exactly
+    the failed cells (everything already copied diffs to nothing).
+    """
 
     source: str
     destination: str
     scenarios_examined: int = 0
     scenarios_copied: int = 0
     replications_copied: int = 0
+    scenarios_failed: int = 0
+    failures: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -61,6 +74,8 @@ class SyncReport:
             "scenarios_examined": self.scenarios_examined,
             "scenarios_copied": self.scenarios_copied,
             "replications_copied": self.replications_copied,
+            "scenarios_failed": self.scenarios_failed,
+            "failures": list(self.failures),
         }
 
 
@@ -173,11 +188,34 @@ def resolve_store(
     return open_store(target)
 
 
+def _copy_scenario(
+    scenario: Scenario, src: StoreBackend, dst: StoreBackend
+) -> int:
+    """Copy one cell's missing replications; returns how many moved."""
+    src_runs = src.load(scenario)
+    if not src_runs:
+        return 0
+    if isinstance(dst, RemoteStore):
+        # The server diffs against its own store and reports what it
+        # actually added — no read-modify-write race over the wire.
+        return dst.push(scenario, [run for _, run in sorted(src_runs.items())])
+    existing = set(dst.load(scenario))
+    missing = [
+        run for replication, run in sorted(src_runs.items())
+        if replication not in existing
+    ]
+    if missing:
+        dst.append(scenario, missing)
+    return len(missing)
+
+
 def sync(
     source: str | Path | StoreBackend,
     destination: str | Path | StoreBackend,
     *,
     timeout: float = 30.0,
+    retry: "RetryPolicy | None" = None,
+    sleep: "Callable[[float], None]" = time.sleep,
 ) -> SyncReport:
     """Copy every replication ``destination`` is missing from ``source``.
 
@@ -186,30 +224,29 @@ def sync(
     destination replications are never overwritten, so the call is
     idempotent: a second sync copies nothing.  Source cells that read as
     empty (e.g. an incomplete cell on a remote server) are skipped.
+
+    Fault tolerance: each cell copies independently under ``retry`` (a
+    :class:`~repro.service.reliability.RetryPolicy`, or ``None`` for single
+    attempts).  A cell that still fails is *recorded* in the report
+    (``scenarios_failed``/``failures``) rather than aborting the sync —
+    idempotence makes the recovery story "run it again": already-copied
+    cells diff to nothing, so the retry resumes with exactly the failures.
     """
     src = resolve_store(source, timeout=timeout)
     dst = resolve_store(destination, timeout=timeout)
     examined = copied_scenarios = copied_replications = 0
+    failures: list[str] = []
     for scenario in src.scenarios_on_record():
         examined += 1
-        src_runs = src.load(scenario)
-        if not src_runs:
+        copy = lambda: _copy_scenario(scenario, src, dst)  # noqa: E731
+        try:
+            if retry is not None:
+                added = retry.call(copy, sleep=sleep)
+            else:
+                added = copy()
+        except Exception:  # noqa: BLE001 - record and continue with the rest
+            failures.append(scenario.content_hash())
             continue
-        if isinstance(dst, RemoteStore):
-            # The server diffs against its own store and reports what it
-            # actually added — no read-modify-write race over the wire.
-            added = dst.push(
-                scenario, [run for _, run in sorted(src_runs.items())]
-            )
-        else:
-            existing = set(dst.load(scenario))
-            missing = [
-                run for replication, run in sorted(src_runs.items())
-                if replication not in existing
-            ]
-            if missing:
-                dst.append(scenario, missing)
-            added = len(missing)
         if added:
             copied_scenarios += 1
             copied_replications += added
@@ -219,4 +256,6 @@ def sync(
         scenarios_examined=examined,
         scenarios_copied=copied_scenarios,
         replications_copied=copied_replications,
+        scenarios_failed=len(failures),
+        failures=tuple(failures),
     )

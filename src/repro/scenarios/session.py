@@ -61,6 +61,14 @@ __all__ = ["ResultSet", "Session", "SessionProgress"]
 #: :meth:`Session.run`/:meth:`Session.run_all` (which, under the simulation
 #: service, is a job-queue worker thread) — never concurrently for one call,
 #: but not necessarily the main thread.
+#:
+#: Cancellation contract: a callback may *raise* to abort the session call
+#: cooperatively (the service's deadline/cancel machinery raises
+#: :class:`~repro.service.reliability.JobCancelled` here).  The exception
+#: propagates out of :meth:`Session.run`/:meth:`Session.run_all`, and every
+#: replication already reported as done has been appended to the store
+#: *before* its progress callback fired — so an aborted cell resumes from
+#: the completed prefix on the next run instead of re-simulating it.
 SessionProgress = Callable[[int, Scenario, int, int], None]
 
 

@@ -321,13 +321,13 @@ def _ensure_builtin_backends() -> None:
     global _builtin_backends_loaded
     if _builtin_backends_loaded:
         return
-    from repro.scenarios import store_sqlite  # noqa: F401 - registers SqliteStore
+    from repro.scenarios import store_chaos, store_sqlite  # noqa: F401 - register backends
 
     _builtin_backends_loaded = True
 
 
 def available_store_backends() -> tuple[str, ...]:
-    """Registered backend names, sorted (``('jsonl', 'sqlite')`` out of the box)."""
+    """Registered backend names, sorted (``('chaos', 'jsonl', 'sqlite')`` out of the box)."""
     _ensure_builtin_backends()
     return tuple(sorted(_BACKENDS))
 

@@ -31,6 +31,15 @@ bottom to top:
    typed ``submit``/``wait``/``result`` wrapper over ``urllib`` that backs
    the ``repro submit --url`` CLI.
 
+Threaded through all four layers is the fault-tolerance vocabulary of
+:mod:`repro.service.reliability`: a crash-safe job journal replayed on boot
+(zero lost submissions, zero duplicate simulations), :class:`RetryPolicy`
+backoff on job execution / client HTTP calls / federation sync, per-job
+deadlines and cooperative cancellation (``DELETE /jobs/<id>``), a bounded
+queue that degrades to 503 + ``Retry-After``, graceful SIGTERM drain, and a
+seeded :class:`FaultInjector` (plus the ``chaos:`` store wrapper) so every
+one of those recovery paths is deterministically testable.
+
 Quickstart::
 
     # terminal 1 — an always-on server with a persistent store
@@ -47,15 +56,29 @@ run is in flight the submission dedups onto it; afterwards the result store
 answers it synchronously (``cached: true``).
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, TransientServiceError
 from repro.service.jobs import Job, JobManager
+from repro.service.reliability import (
+    DeadlineExceeded,
+    FaultInjector,
+    InjectedFault,
+    JobCancelled,
+    JobJournal,
+    Overloaded,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientError,
+    journal_for_store,
+)
 from repro.service.server import ReproServer, create_server, serve
 from repro.service.wire import (
+    JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
     JOB_STATES,
+    TERMINAL_STATES,
     JobStatus,
     parse_scenario_body,
 )
@@ -63,6 +86,7 @@ from repro.service.wire import (
 __all__ = [
     "ServiceClient",
     "ServiceError",
+    "TransientServiceError",
     "Job",
     "JobManager",
     "JobStatus",
@@ -70,9 +94,21 @@ __all__ = [
     "create_server",
     "serve",
     "parse_scenario_body",
+    "RetryPolicy",
+    "JobJournal",
+    "journal_for_store",
+    "FaultInjector",
+    "TransientError",
+    "InjectedFault",
+    "SimulatedCrash",
+    "JobCancelled",
+    "DeadlineExceeded",
+    "Overloaded",
     "JOB_QUEUED",
     "JOB_RUNNING",
     "JOB_DONE",
     "JOB_FAILED",
+    "JOB_CANCELLED",
     "JOB_STATES",
+    "TERMINAL_STATES",
 ]

@@ -12,25 +12,46 @@ CLI can target a remote server instead of simulating locally::
 Every HTTP failure — connection refused, non-2xx status, malformed JSON —
 surfaces as :class:`ServiceError` carrying the server's ``error`` message
 and status code, never a bare ``urllib`` exception.
+
+Reliability: every request runs under a
+:class:`~repro.service.reliability.RetryPolicy` (exponential backoff, full
+jitter).  Retryable failures are transport errors (connection refused/reset,
+timeouts) and the classic transient statuses — 429, 500, 502, 503, 504 —
+with the server's ``Retry-After`` hint honoured as a lower bound on the
+backoff, so a client submitting into a full queue backs off and succeeds
+instead of failing.  An error that survives the policy surfaces as
+:class:`TransientServiceError` (a :class:`ServiceError` that is *also* a
+:class:`~repro.service.reliability.TransientError`, so outer policies can
+keep retrying it); terminal statuses (404, 400, 409, …) raise plain
+:class:`ServiceError` immediately, untried.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import TYPE_CHECKING
 
 from repro.scenarios.scenario import Scenario
-from repro.service.wire import JOB_FAILED, JobStatus
+from repro.service.reliability import RetryPolicy, TransientError
+from repro.service.wire import JOB_DONE, JobStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Sequence
 
     from repro.scenarios.store import StoredRun
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "TransientServiceError"]
+
+#: HTTP statuses worth retrying: throttling and server-side transients.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+#: Default request policy: modest, fast — a CLI client should fail within
+#: seconds when the server is truly gone, not minutes.
+DEFAULT_RETRY = RetryPolicy(max_attempts=4, base_delay=0.1, max_delay=2.0)
 
 
 class ServiceError(RuntimeError):
@@ -41,8 +62,17 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class TransientServiceError(ServiceError, TransientError):
+    """A retryable failure that survived the client's retry policy.
+
+    Being a :class:`~repro.service.reliability.TransientError`, it stays
+    retryable for any *outer* policy (e.g. federation sync wrapping client
+    calls in its own, slower retry loop).
+    """
+
+
 class ServiceClient:
-    """Thin blocking client: ``submit`` / ``wait`` / ``result`` and friends.
+    """Blocking client: ``submit`` / ``wait`` / ``result`` and friends.
 
     Parameters
     ----------
@@ -50,11 +80,23 @@ class ServiceClient:
         Server root, e.g. ``http://127.0.0.1:8765`` (trailing slash ok).
     timeout:
         Per-request socket timeout in seconds.
+    retry:
+        :class:`~repro.service.reliability.RetryPolicy` for every request;
+        ``None`` disables retries (one attempt per request).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        # Injectable for deterministic tests.
+        self._sleep = time.sleep
+        self._rng = random.Random()
 
     # ---------------------------------------------------------------- requests
     def _request(
@@ -62,23 +104,80 @@ class ServiceClient:
         path: str,
         body: bytes | None = None,
         content_type: str | None = None,
+        method: str | None = None,
     ) -> dict[str, object]:
-        request = urllib.request.Request(self.base_url + path, data=body)
+        """One logical request: attempts under the retry policy.
+
+        Raises :class:`ServiceError` for terminal failures and
+        :class:`TransientServiceError` when every attempt failed transiently.
+        """
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(path, body, content_type, method)
+            except ServiceError as error:
+                retry_after = getattr(error, "retry_after", None)
+                transient = error.status in RETRYABLE_STATUSES or (
+                    error.status is None and isinstance(error, TransientServiceError)
+                )
+                if not transient:
+                    raise
+                if attempt >= attempts:
+                    exhausted = TransientServiceError(str(error), status=error.status)
+                    if retry_after is not None:
+                        exhausted.retry_after = retry_after  # type: ignore[attr-defined]
+                    raise exhausted from None
+                delay = self.retry.delay(attempt, self._rng)
+                if retry_after is not None:
+                    delay = max(delay, float(retry_after))
+                self._sleep(delay)
+
+    def _request_once(
+        self,
+        path: str,
+        body: bytes | None,
+        content_type: str | None,
+        method: str | None,
+    ) -> dict[str, object]:
+        request = urllib.request.Request(self.base_url + path, data=body, method=method)
         if content_type is not None:
             request.add_header("Content-Type", content_type)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            raw = error.read()
+            retry_after = error.headers.get("Retry-After")
             try:
-                message = json.loads(error.read().decode("utf-8")).get("error", str(error))
+                message = json.loads(raw.decode("utf-8")).get("error", str(error))
             except (json.JSONDecodeError, UnicodeDecodeError):
                 message = str(error)
-            raise ServiceError(message, status=error.code) from None
+            exc = ServiceError(message, status=error.code)
+            if retry_after is not None:
+                try:
+                    exc.retry_after = float(retry_after)  # type: ignore[attr-defined]
+                except ValueError:
+                    pass
+            raise exc from None
         except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach {self.base_url}: {error.reason}") from None
+            # Connection refused/reset, DNS, timeout — all transport-level
+            # transients; status None + TransientServiceError marks them
+            # retryable in the loop above.
+            raise TransientServiceError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+        except (ConnectionError, TimeoutError) as error:
+            raise TransientServiceError(
+                f"connection to {self.base_url} failed: {error}"
+            ) from None
         except json.JSONDecodeError as error:
-            raise ServiceError(f"malformed response from {self.base_url}: {error}") from None
+            # A truncated/garbled response usually means the connection was
+            # dropped mid-body (e.g. an injected reset) — retryable.
+            raise TransientServiceError(
+                f"malformed response from {self.base_url}: {error}"
+            ) from None
         if not isinstance(payload, dict):
             raise ServiceError(f"unexpected response shape: {payload!r}")
         return payload
@@ -90,12 +189,16 @@ class ServiceClient:
         return JobStatus.from_wire(job)
 
     # ------------------------------------------------------------------ verbs
-    def submit(self, scenario: Scenario | str) -> JobStatus:
+    def submit(
+        self, scenario: Scenario | str, deadline: float | None = None
+    ) -> JobStatus:
         """Submit a scenario (object or compact spec string) for execution.
 
         The returned status carries the disposition: ``cached`` jobs are
         already ``done`` (served from the server's store with zero new
         simulations); ``deduplicated`` ones share an in-flight job.
+        ``deadline`` is a per-job wall-clock budget in seconds (from now);
+        a job that outlives it is cancelled server-side.
         """
         if isinstance(scenario, Scenario):
             body = scenario.to_json().encode("utf-8")
@@ -103,7 +206,10 @@ class ServiceClient:
         else:
             body = scenario.encode("utf-8")
             content_type = "text/plain"
-        payload = self._request("/scenarios", body=body, content_type=content_type)
+        path = "/scenarios"
+        if deadline is not None:
+            path += f"?deadline={deadline:g}"
+        payload = self._request(path, body=body, content_type=content_type)
         return self._job_status(payload, deduplicated=bool(payload.get("deduplicated")))
 
     def job(self, job_id: str) -> JobStatus:
@@ -115,29 +221,58 @@ class ServiceClient:
         payload = self._request("/jobs")
         return [JobStatus.from_wire(job) for job in payload["jobs"]]  # type: ignore[union-attr]
 
+    def cancel(self, job_id: str) -> dict[str, object]:
+        """Cancel a job (``DELETE /jobs/<id>``).
+
+        The payload reports ``cancelled`` (it was still queued — now
+        terminal) or ``cancelling`` (running — it will stop at the next
+        replication boundary).  Raises :class:`ServiceError` with status 409
+        if the job already finished, 404 if unknown.
+        """
+        return self._request(f"/jobs/{job_id}", method="DELETE")
+
     def wait(
         self,
         job_id: str,
         timeout: float | None = 300.0,
         poll_interval: float = 0.05,
+        max_poll_interval: float = 2.0,
     ) -> JobStatus:
         """Poll until the job finishes; raises :class:`ServiceError` on timeout.
 
-        A ``failed`` job is *returned*, not raised — the caller inspects
-        ``status.error`` — so a bad scenario doesn't masquerade as a
-        transport problem.
+        A ``failed`` (or ``cancelled``) job is *returned*, not raised — the
+        caller inspects ``status.error`` — so a bad scenario doesn't
+        masquerade as a transport problem.  The poll interval starts at
+        ``poll_interval`` (snappy for short jobs) and grows ~1.6× per poll up
+        to ``max_poll_interval``, so waiting on a long cell costs a handful
+        of requests per second-of-runtime, not hundreds.  Transient poll
+        failures (server restarting, connection reset) are tolerated until
+        the overall timeout.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        interval = max(poll_interval, 0.001)
+        last_error: ServiceError | None = None
         while True:
-            status = self.job(job_id)
-            if status.finished:
-                return status
+            try:
+                status = self.job(job_id)
+            except TransientServiceError as error:
+                last_error = error
+                status = None
+            else:
+                last_error = None
+                if status.finished:
+                    return status
             if deadline is not None and time.monotonic() >= deadline:
+                if last_error is not None:
+                    raise ServiceError(
+                        f"job {job_id} unreachable after {timeout:.0f}s: {last_error}"
+                    ) from None
                 raise ServiceError(
                     f"job {job_id} still {status.state} after {timeout:.0f}s "
                     f"({status.done}/{status.total} replications)"
                 )
-            time.sleep(poll_interval)
+            self._sleep(interval)
+            interval = min(interval * 1.6, max_poll_interval)
 
     def result(self, content_hash: str) -> dict[str, object]:
         """Completed ``ResultSet.to_dict()`` payload for a scenario hash."""
@@ -158,13 +293,18 @@ class ServiceClient:
             content_type="application/json",
         )
 
-    def run(self, scenario: Scenario | str, timeout: float | None = 300.0) -> dict[str, object]:
+    def run(
+        self,
+        scenario: Scenario | str,
+        timeout: float | None = 300.0,
+        deadline: float | None = None,
+    ) -> dict[str, object]:
         """Submit, wait, and fetch the full result payload in one call."""
-        status = self.submit(scenario)
+        status = self.submit(scenario, deadline=deadline)
         if not status.finished:
             status = self.wait(status.id, timeout=timeout)
-        if status.state == JOB_FAILED:
-            raise ServiceError(f"job {status.id} failed: {status.error}")
+        if status.state != JOB_DONE:
+            raise ServiceError(f"job {status.id} {status.state}: {status.error}")
         return self.result(status.hash)
 
     def store_records(self) -> list[dict[str, object]]:

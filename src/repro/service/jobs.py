@@ -15,26 +15,79 @@ three paths:
   covered) is already queued or running, so the submission attaches to that
   in-flight job instead of enqueueing a duplicate — N clients asking for the
   same cell cost one execution;
-* **queued** — anything else joins the tail of the FIFO queue and is
-  reported ``queued`` until a worker picks it up.
+* **queued** — anything else is journaled (when a
+  :class:`~repro.service.reliability.JobJournal` is configured, the entry is
+  durable *before* the submission is acknowledged), then joins the tail of
+  the FIFO queue.
 
 Progress flows from the session's :data:`~repro.scenarios.session.SessionProgress`
 callback (invoked in worker callback context) into ``Job.done``, so
 ``GET /jobs/<id>`` can report per-replication progress while the cell runs.
+
+Fault tolerance (see :mod:`repro.service.reliability`)
+------------------------------------------------------
+* **Retries** — job execution runs under a :class:`RetryPolicy`: transient
+  errors (injected faults, store/connection hiccups) are retried with
+  exponential backoff; because completed replications persist as they finish,
+  a retry re-simulates only the *missing* ones (partial-cell resume).
+* **Deadlines & cancellation** — each job may carry an absolute wall-clock
+  ``deadline``; :meth:`cancel` aborts a queued job immediately and requests
+  cooperative cancellation of a running one.  Both abort paths are checked
+  between replications from the progress callback.
+* **Bounded queue & drain** — ``max_queue`` caps accepted-but-unstarted
+  work; beyond it :meth:`submit` raises
+  :class:`~repro.service.reliability.Overloaded` (the server maps this to
+  503 + ``Retry-After``).  :meth:`drain` stops intake, lets running jobs
+  finish, and leaves the queued rest journaled for the next boot.
+* **Journal replay** — :meth:`replay_journal` re-submits every journal entry
+  with no terminal mark through the normal submission path, so a restart
+  after a crash loses zero submissions and — via content-hash dedup and the
+  store-cached fast path — re-simulates zero completed replications.
 """
 
 from __future__ import annotations
 
+import logging
+import random
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.session import ResultSet, Session
-from repro.service.wire import JOB_DONE, JOB_FAILED, JOB_QUEUED, JOB_RUNNING
+from repro.service.reliability import (
+    DeadlineExceeded,
+    FaultInjector,
+    JobCancelled,
+    JobJournal,
+    Overloaded,
+    RetryPolicy,
+)
+from repro.service.wire import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+)
 
 __all__ = ["Job", "JobManager"]
+
+log = logging.getLogger("repro.service")
+
+#: Lifetime-counter keys, all present from the first ``/healthz`` response.
+_TOTAL_KEYS = (
+    "submitted",
+    "done",
+    "failed",
+    "cancelled",
+    "rejected",
+    "retried",
+    "replayed",
+)
 
 
 @dataclass
@@ -54,10 +107,15 @@ class Job:
     cached: bool = False
     error: str | None = None
     result_set: ResultSet | None = None
+    deadline: float | None = None  #: absolute wall-clock limit (time.time())
+    attempts: int = 0
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
     finished: threading.Event = field(default_factory=threading.Event, repr=False)
+    cancel_requested: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
 
     @property
     def total(self) -> int:
@@ -74,6 +132,8 @@ class Job:
             "total": self.total,
             "cached": self.cached,
             "error": self.error,
+            "attempts": self.attempts,
+            "deadline": self.deadline,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -101,7 +161,25 @@ class JobManager:
         server creates one :class:`Job` per submission (cached hits
         included), so the oldest finished jobs — and their result sets — are
         evicted beyond this bound; their results remain available through
-        the store via ``GET /results/<hash>``.
+        the store via ``GET /results/<hash>``.  Eviction never touches the
+        lifetime counters (:meth:`lifetime_counts`).
+    max_queue:
+        Bound on *queued* (accepted, unstarted) jobs; ``None`` is unbounded.
+        A full queue rejects with :class:`Overloaded` instead of accepting
+        work the process may never live to run.
+    journal:
+        Crash-safe :class:`JobJournal` of accepted submissions, or ``None``.
+    retry_policy:
+        :class:`RetryPolicy` for job execution; ``None`` disables retries.
+        The default retries transient errors up to 3 attempts.
+    fault_injector:
+        Optional chaos hook: after a job's successful execution (results
+        persisted) and *before* its journal mark, ``worker-crash`` rolls may
+        raise :class:`~repro.service.reliability.SimulatedCrash`, killing the
+        worker thread exactly like a crashed process — the journal-replay
+        recovery path's test harness.
+    retry_sleep:
+        Sleep used between retry attempts (injectable for tests).
     """
 
     def __init__(
@@ -110,13 +188,26 @@ class JobManager:
         workers: int = 1,
         start: bool = True,
         max_finished: int = 1024,
+        max_queue: int | None = None,
+        journal: JobJournal | None = None,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        fault_injector: FaultInjector | None = None,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_finished < 1:
             raise ValueError(f"max_finished must be positive, got {max_finished}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be positive (or None), got {max_queue}")
         self.session = session
         self.max_finished = max_finished
+        self.max_queue = max_queue
+        self.journal = journal
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self._retry_sleep = retry_sleep
+        self._retry_rng = random.Random()
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
         self._queue: deque[Job] = deque()
@@ -125,6 +216,9 @@ class JobManager:
         self._finished_order: deque[str] = deque()  # job ids, oldest first
         self._next_id = 1
         self._shutdown = False
+        self._accepting = True
+        self._totals: dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
+        self._last_failure: dict[str, object] | None = None
         self._threads: list[threading.Thread] = []
         if start:
             for index in range(workers):
@@ -135,37 +229,84 @@ class JobManager:
                 self._threads.append(thread)
 
     # ---------------------------------------------------------------- submit
-    def submit(self, scenario: Scenario) -> tuple[Job, str]:
+    def submit(
+        self, scenario: Scenario, deadline: float | None = None
+    ) -> tuple[Job, str]:
         """Submit a scenario; returns ``(job, disposition)``.
 
         ``disposition`` is ``"cached"``, ``"deduplicated"`` or ``"queued"``
-        (see module docstring for the three paths).
+        (see module docstring).  ``deadline`` is an *absolute* wall-clock
+        limit (``time.time()`` scale); a job whose deadline passes before it
+        completes is cancelled with :class:`DeadlineExceeded`.  Raises
+        :class:`Overloaded` when the queue is full or the manager is
+        draining — the journal entry for a queued submission is durable
+        before this method returns.
         """
         content_hash = scenario.content_hash()
         with self._lock:
+            self._check_accepting()
             existing = self._dedup_target(content_hash, scenario)
             if existing is not None:
+                self._totals["submitted"] += 1
                 return existing, "deduplicated"
         # The cache probe reads the store, so it runs outside the lock; on a
-        # hit it *is* the answer (one JSONL read, zero simulations).
-        cached_result = self.session.run_cached(scenario)
+        # hit it *is* the answer (one store read, zero simulations).  A store
+        # too broken to probe must degrade to a queued job (whose execution
+        # retries under the policy), never to a failed submission.
+        try:
+            cached_result = self.session.run_cached(scenario)
+        except Exception as error:  # noqa: BLE001 - probe failure = cache miss
+            cached_result = None
+            self._note_failure(None, f"cache probe: {type(error).__name__}: {error}")
         if cached_result is not None:
-            job = self._register(scenario, content_hash, inflight=False)
-            job.started_at = job.finished_at = time.time()
-            job.result_set = cached_result
-            job.done = job.total
-            job.cached = True
-            job.state = JOB_DONE
+            with self._lock:
+                self._totals["submitted"] += 1
+                job = self._register(scenario, content_hash, inflight=False)
+                job.started_at = job.finished_at = time.time()
+                job.result_set = cached_result
+                job.done = job.total
+                job.cached = True
+                job.state = JOB_DONE
             self._mark_finished(job)
             return job, "cached"
         with self._lock:
+            self._check_accepting()
             existing = self._dedup_target(content_hash, scenario)
             if existing is not None:
+                self._totals["submitted"] += 1
                 return existing, "deduplicated"
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self._totals["rejected"] += 1
+                raise Overloaded(
+                    f"job queue is full ({len(self._queue)} queued, "
+                    f"limit {self.max_queue})",
+                    retry_after=self._retry_after_hint(),
+                )
             job = self._register(scenario, content_hash, inflight=True)
+            job.deadline = deadline
+            if self.journal is not None:
+                try:
+                    self.journal.record(job.id, scenario, deadline=deadline)
+                except Exception:
+                    # The durability guarantee is journal-then-accept; a
+                    # submission we cannot journal is a submission we never
+                    # accepted.
+                    del self._jobs[job.id]
+                    del self._inflight[content_hash]
+                    raise
+            self._totals["submitted"] += 1
             self._queue.append(job)
             self._work_available.notify()
         return job, "queued"
+
+    def _check_accepting(self) -> None:
+        if not self._accepting:
+            self._totals["rejected"] += 1
+            raise Overloaded("server is draining", retry_after=5.0)
+
+    def _retry_after_hint(self) -> float:
+        """Crude full-queue backoff hint: half a second per queued job."""
+        return max(1.0, 0.5 * len(self._queue))
 
     def _dedup_target(self, content_hash: str, scenario: Scenario) -> Job | None:
         """The in-flight job a duplicate submission attaches to, if any.
@@ -183,22 +324,17 @@ class JobManager:
         return job
 
     def _register(self, scenario: Scenario, content_hash: str, inflight: bool) -> Job:
-        if not inflight:
-            self._lock.acquire()
-        try:
-            job = Job(
-                id=f"job-{self._next_id}",
-                scenario=scenario,
-                content_hash=content_hash,
-            )
-            self._next_id += 1
-            self._jobs[job.id] = job
-            if inflight:
-                self._inflight[content_hash] = job
-            return job
-        finally:
-            if not inflight:
-                self._lock.release()
+        """Create and index a job; the manager lock must be held."""
+        job = Job(
+            id=f"job-{self._next_id}",
+            scenario=scenario,
+            content_hash=content_hash,
+        )
+        self._next_id += 1
+        self._jobs[job.id] = job
+        if inflight:
+            self._inflight[content_hash] = job
+        return job
 
     # --------------------------------------------------------------- queries
     def get(self, job_id: str) -> Job | None:
@@ -231,7 +367,9 @@ class JobManager:
         return max(candidates, key=lambda job: job.finished_at or 0.0).result_set
 
     def counts(self) -> dict[str, int]:
-        """Jobs per lifecycle state (the ``/healthz`` payload)."""
+        """*Live* jobs per lifecycle state (finished jobs age out of these
+        counts with :attr:`max_finished` eviction — use
+        :meth:`lifetime_counts` for monotonic totals)."""
         with self._lock:
             states = [job.state for job in self._jobs.values()]
         return {
@@ -239,17 +377,47 @@ class JobManager:
             JOB_RUNNING: states.count(JOB_RUNNING),
             JOB_DONE: states.count(JOB_DONE),
             JOB_FAILED: states.count(JOB_FAILED),
+            JOB_CANCELLED: states.count(JOB_CANCELLED),
         }
+
+    def lifetime_counts(self) -> dict[str, int]:
+        """Monotonic since-boot totals — immune to finished-job eviction."""
+        with self._lock:
+            return dict(self._totals)
+
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet started."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` currently accepts new work."""
+        with self._lock:
+            return self._accepting
+
+    @property
+    def last_failure(self) -> dict[str, object] | None:
+        """The most recent failure observed (job or cache probe), or ``None``."""
+        with self._lock:
+            return dict(self._last_failure) if self._last_failure else None
+
+    def _note_failure(self, job_id: str | None, message: str) -> None:
+        with self._lock:
+            self._last_failure = {"job": job_id, "error": message, "at": time.time()}
 
     # ------------------------------------------------------------- execution
     def process_next(self) -> Job | None:
         """Run the head-of-queue job on the calling thread (test hook)."""
-        with self._lock:
-            if not self._queue:
-                return None
-            job = self._queue.popleft()
-        self._run_job(job)
-        return job
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return None
+                job = self._queue.popleft()
+            if job.state == JOB_CANCELLED:
+                continue  # cancelled while queued; already terminal
+            self._run_job(job)
+            return job
 
     def _worker_loop(self) -> None:
         while True:
@@ -259,45 +427,231 @@ class JobManager:
                 if self._shutdown and not self._queue:
                     return
                 job = self._queue.popleft()
+            if job.state == JOB_CANCELLED:
+                continue
             self._run_job(job)
 
+    def _check_abort(self, job: Job) -> None:
+        """Raise the cooperative-abort signal if the job should stop now."""
+        if job.cancel_requested.is_set():
+            raise JobCancelled("cancelled by request")
+        if job.deadline is not None and time.time() >= job.deadline:
+            raise DeadlineExceeded(
+                f"deadline exceeded ({job.done}/{job.total} replications done)"
+            )
+
     def _run_job(self, job: Job) -> None:
+        """Execute one job with retries, deadline checks and journaling.
+
+        Deliberately *not* wrapped in ``try/finally``: a
+        :class:`~repro.service.reliability.SimulatedCrash` (the chaos
+        harness's worker-death fault) must skip the journal mark and the
+        finished bookkeeping exactly like a killed process would, so the
+        entry stays pending for the next boot's replay.
+        """
         job.state = JOB_RUNNING
         job.started_at = time.time()
 
         def progress(_index: int, _scenario: Scenario, done: int, _total: int) -> None:
             job.done = done
+            # Cooperative abort between replications: everything already
+            # appended to the store stays there, so a later retry/resubmit
+            # resumes from the completed prefix.
+            self._check_abort(job)
 
+        policy = self.retry_policy
+        while True:
+            job.attempts += 1
+            try:
+                self._check_abort(job)
+                job.result_set = self.session.run(job.scenario, progress=progress)
+            except JobCancelled as error:
+                job.state = JOB_CANCELLED
+                job.error = str(error)
+                break
+            except Exception as error:  # a failed job must not kill its worker
+                if (
+                    policy is not None
+                    and job.attempts < policy.max_attempts
+                    and policy.is_retryable(error)
+                    and not job.cancel_requested.is_set()
+                ):
+                    with self._lock:
+                        self._totals["retried"] += 1
+                    log.info(
+                        "job %s attempt %d failed (%s: %s); retrying",
+                        job.id, job.attempts, type(error).__name__, error,
+                    )
+                    self._retry_sleep(policy.delay(job.attempts, self._retry_rng))
+                    continue
+                job.state = JOB_FAILED
+                job.error = f"{type(error).__name__}: {error}"
+                self._note_failure(job.id, job.error)
+                break
+            else:
+                # Chaos hook: a worker-crash roll fires *after* the results
+                # are persisted but *before* the journal mark — the exact
+                # window journal replay exists to cover.
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_crash("worker-crash")
+                job.state = JOB_DONE
+                job.done = job.total
+                break
+        job.finished_at = time.time()
+        with self._lock:
+            if self._inflight.get(job.content_hash) is job:
+                del self._inflight[job.content_hash]
+        self._journal_mark(job)
+        self._mark_finished(job)
+
+    def _journal_mark(self, job: Job) -> None:
+        if self.journal is None:
+            return
         try:
-            job.result_set = self.session.run(job.scenario, progress=progress)
-        except Exception as error:  # a failed job must not kill its worker
-            job.state = JOB_FAILED
-            job.error = f"{type(error).__name__}: {error}"
-        else:
-            job.state = JOB_DONE
-            job.done = job.total
-        finally:
-            job.finished_at = time.time()
-            with self._lock:
-                if self._inflight.get(job.content_hash) is job:
-                    del self._inflight[job.content_hash]
-            self._mark_finished(job)
+            self.journal.mark(job.id, job.state)
+        except Exception as error:  # noqa: BLE001 - a mark failure only costs
+            # one spurious (deduplicated-to-cached) replay on the next boot.
+            log.warning("could not mark job %s in journal: %s", job.id, error)
 
     def _mark_finished(self, job: Job) -> None:
         """Record a finished job and evict the oldest beyond ``max_finished``."""
         with self._lock:
+            if job.state in TERMINAL_STATES:
+                self._totals[job.state] += 1
             self._finished_order.append(job.id)
             while len(self._finished_order) > self.max_finished:
                 evicted = self._finished_order.popleft()
                 self._jobs.pop(evicted, None)
         job.finished.set()
 
+    # ---------------------------------------------------------- cancellation
+    def cancel(self, job_id: str) -> str | None:
+        """Cancel a job; returns the disposition or ``None`` if unknown.
+
+        ``"cancelled"`` — it was still queued and is now terminal;
+        ``"cancelling"`` — it is running and will abort cooperatively at the
+        next replication boundary; ``"finished"`` — it already reached a
+        terminal state (nothing to do).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == JOB_QUEUED:
+                job.state = JOB_CANCELLED
+                job.error = "cancelled before start"
+                job.finished_at = time.time()
+                try:
+                    self._queue.remove(job)
+                except ValueError:
+                    pass  # already popped by a worker racing us; it will skip
+                if self._inflight.get(job.content_hash) is job:
+                    del self._inflight[job.content_hash]
+            elif job.state == JOB_RUNNING:
+                job.cancel_requested.set()
+                return "cancelling"
+            else:
+                return "finished"
+        self._journal_mark(job)
+        self._mark_finished(job)
+        return "cancelled"
+
+    # ---------------------------------------------------------------- replay
+    def replay_journal(self) -> int:
+        """Re-submit every journal entry without a terminal mark.
+
+        Called on boot, before traffic: pending entries are drained from the
+        journal and pushed through :meth:`submit`, which journals each anew
+        under a fresh job id.  Entries whose scenario no longer parses are
+        dropped (and logged); entries that no longer fit the queue bound are
+        re-journaled untouched so *nothing is lost* even on an overloaded
+        boot.  Work that crashed after persisting its replications
+        deduplicates to the store (``cached``) — zero duplicate simulations.
+        """
+        if self.journal is None:
+            return 0
+        entries = self.journal.pending()
+        if not entries:
+            return 0
+        self.journal.reset()
+        replayed = 0
+        for entry in entries:
+            try:
+                scenario = Scenario.from_dict(entry.scenario)
+            except Exception as error:  # noqa: BLE001 - skip poison entries
+                log.warning(
+                    "dropping unreplayable journal entry %s: %s", entry.job_id, error
+                )
+                continue
+            try:
+                self.submit(scenario, deadline=entry.deadline)
+            except Overloaded:
+                self.journal.record_entry(entry)
+                continue
+            replayed += 1
+            with self._lock:
+                self._totals["replayed"] += 1
+        if replayed:
+            log.info("replayed %d journaled job(s) from %s", replayed, self.journal.path)
+        return replayed
+
     # -------------------------------------------------------------- shutdown
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop the workers after the queue drains; idempotent."""
+    def drain(self) -> int:
+        """Graceful shutdown: stop intake, finish running jobs, keep the rest.
+
+        Queued jobs are pulled off the queue *unrun* — their journal entries
+        (written at acceptance) stay unmarked, so the next boot replays them.
+        Returns how many were set aside.  Idempotent.
+        """
         with self._work_available:
+            self._accepting = False
+            self._shutdown = True
+            leftover = list(self._queue)
+            self._queue.clear()
+            self._work_available.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        if leftover:
+            if self.journal is not None:
+                log.info(
+                    "drain: %d queued job(s) left journaled for replay on next boot",
+                    len(leftover),
+                )
+            else:
+                log.warning(
+                    "drain: %d queued job(s) dropped (no journal configured)",
+                    len(leftover),
+                )
+        return len(leftover)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers after the queue drains; idempotent.
+
+        Unlike :meth:`drain`, the workers keep executing until the queue is
+        empty.  If they have not finished within the join timeout, the jobs
+        still queued are *not* silently dropped: they are already journaled
+        (when a journal is configured) and the abandonment is logged.
+        """
+        with self._work_available:
+            self._accepting = False
             self._shutdown = True
             self._work_available.notify_all()
-        if wait:
-            for thread in self._threads:
-                thread.join(timeout=30.0)
+        if not wait:
+            return
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        with self._lock:
+            abandoned = len(self._queue)
+        if abandoned:
+            if self.journal is not None:
+                log.warning(
+                    "shutdown timeout: %d queued job(s) abandoned but journaled "
+                    "for replay on next boot",
+                    abandoned,
+                )
+            else:
+                log.warning(
+                    "shutdown timeout: %d queued job(s) abandoned with no journal "
+                    "— these submissions are lost",
+                    abandoned,
+                )

@@ -1,15 +1,20 @@
 """The threaded HTTP/JSON simulation server behind ``repro serve``.
 
 Stdlib only: a :class:`http.server.ThreadingHTTPServer` whose handler
-routes five endpoints onto a :class:`~repro.service.jobs.JobManager` and its
+routes the endpoints onto a :class:`~repro.service.jobs.JobManager` and its
 shared :class:`~repro.scenarios.session.Session`:
 
 ========================  ====================================================
-``POST /scenarios``       submit a scenario (spec string / JSON / TOML body);
+``POST /scenarios``       submit a scenario (spec string / JSON / TOML body;
+                          optional ``?deadline=<seconds>`` wall-clock budget);
                           202 + job payload when queued, 200 with
                           ``cached: true`` (zero new simulations) or
-                          ``deduplicated: true`` otherwise
+                          ``deduplicated: true`` otherwise; 503 +
+                          ``Retry-After`` when the queue is full or draining
 ``GET /jobs/<id>``        job status + per-replication progress
+``DELETE /jobs/<id>``     cancel a job (immediate while queued, cooperative
+                          between replications while running; 409 once
+                          finished)
 ``GET /jobs``             all known jobs, oldest first
 ``GET /results/<hash>``   completed ``ResultSet.to_dict()`` payload for a
                           scenario content hash (from a finished job or
@@ -20,7 +25,9 @@ shared :class:`~repro.scenarios.session.Session`:
                           overwritten) — what :func:`repro.scenarios.
                           federation.sync` uses to push to a server
 ``GET /store``            the store listing (one record per scenario cell)
-``GET /healthz``          liveness + job counts
+``GET /healthz``          liveness + degradation: job counts (live and
+                          lifetime), queue depth/limit/accepting, journal
+                          backlog, last failure
 ========================  ====================================================
 
 Each request runs on its own thread (``ThreadingHTTPServer``), while
@@ -28,17 +35,35 @@ simulations run on the job manager's worker threads — a slow cell never
 blocks health checks or status polls.  Requests that *do* execute scenarios
 synchronously (cached submissions, store-served ``/results/<hash>``) perform
 zero simulations by construction, so they stay fast too.
+
+Reliability (see :mod:`repro.service.reliability`): when the session has a
+store, :func:`create_server` wires a crash-safe job journal next to it and
+replays unfinished submissions on boot; ``repro serve`` installs
+SIGTERM/SIGINT handlers that drain gracefully (stop accepting → 503, finish
+in-flight jobs, leave the queued rest journaled).  A
+:class:`~repro.service.reliability.FaultInjector` passed to the server
+injects HTTP-level chaos (500s and connection resets) ahead of routing, for
+client-retry tests.
 """
 
 from __future__ import annotations
 
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qsl, urlsplit
 
 from repro.scenarios.session import Session
 from repro.scenarios.spec import SpecError
 from repro.service.jobs import JobManager
+from repro.service.reliability import (
+    FaultInjector,
+    Overloaded,
+    SimulatedCrash,
+    journal_for_store,
+)
 from repro.service.wire import dump_json, parse_results_body, parse_scenario_body
 
 __all__ = ["ReproServer", "create_server", "serve"]
@@ -55,11 +80,13 @@ class ReproServer(ThreadingHTTPServer):
         session: Session,
         jobs: JobManager,
         quiet: bool = True,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.session = session
         self.jobs = jobs
         self.quiet = quiet
+        self.fault_injector = fault_injector
 
     @property
     def url(self) -> str:
@@ -74,11 +101,16 @@ class ReproServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
-    def close(self) -> None:
-        """Stop serving and drain the job workers; idempotent."""
+    def close(self) -> int:
+        """Stop serving and drain gracefully; idempotent.
+
+        Running jobs finish; jobs still queued are left journaled for the
+        next boot to replay (returned count).  Use ``jobs.shutdown()``
+        directly for the old run-everything-first behaviour.
+        """
         self.shutdown()
         self.server_close()
-        self.jobs.shutdown(wait=True)
+        return self.jobs.drain()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -89,19 +121,52 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - log formatting
             super().log_message(format, *args)
 
-    def _send(self, status: int, payload: dict[str, object]) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict[str, object],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = dump_json(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _error(self, status: int, message: str, **extra: object) -> None:
         self._send(status, {"error": message, **extra})
 
+    def _inject_http_fault(self) -> bool:
+        """HTTP-level chaos hook; returns True when the request was eaten.
+
+        ``http-500`` answers with a retryable 500 before routing;
+        ``http-reset`` slams the connection shut mid-response (the client
+        sees a connection reset / truncated read).  ``/healthz`` is exempt —
+        it is how chaos tests observe the server.
+        """
+        injector = self.server.fault_injector
+        if injector is None or self.path.rstrip("/") == "/healthz":
+            return False
+        try:
+            injector.maybe_fail("http-500")
+            if injector.roll("http-reset"):
+                self.close_connection = True
+                self.connection.close()
+                return True
+        except SimulatedCrash:  # pragma: no cover - defensive
+            raise
+        except Exception as error:  # InjectedFault → a retryable 500
+            self._error(500, f"injected server fault: {error}")
+            return True
+        return False
+
     # ------------------------------------------------------------------ routes
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self._inject_http_fault():
+            return
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
             self._get_healthz()
@@ -117,7 +182,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
-        path = self.path.rstrip("/")
+        if self._inject_http_fault():
+            return
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/")
         length = int(self.headers.get("Content-Length", 0))
         body = self.rfile.read(length)
         if path.startswith("/results/"):
@@ -128,10 +196,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             scenario = parse_scenario_body(body, self.headers.get("Content-Type"))
+            deadline = self._parse_deadline(url.query)
         except (SpecError, ValueError, KeyError) as error:
             self._error(400, f"bad scenario: {error}")
             return
-        job, disposition = self.server.jobs.submit(scenario)
+        try:
+            job, disposition = self.server.jobs.submit(scenario, deadline=deadline)
+        except Overloaded as error:
+            self._send(
+                503,
+                {"error": str(error), "retry_after": error.retry_after},
+                headers={"Retry-After": f"{max(1, round(error.retry_after))}"},
+            )
+            return
         payload = {
             "job": job.snapshot(),
             "hash": job.content_hash,
@@ -140,18 +217,79 @@ class _Handler(BaseHTTPRequestHandler):
         }
         self._send(202 if disposition == "queued" else 200, payload)
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        if self._inject_http_fault():
+            return
+        path = self.path.rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        job_id = path.removeprefix("/jobs/")
+        disposition = self.server.jobs.cancel(job_id)
+        if disposition is None:
+            self._error(404, f"unknown job {job_id!r}")
+        elif disposition == "finished":
+            job = self.server.jobs.get(job_id)
+            self._error(
+                409,
+                f"job {job_id!r} already finished",
+                job=job.snapshot() if job is not None else None,
+            )
+        else:
+            job = self.server.jobs.get(job_id)
+            self._send(
+                200,
+                {
+                    "cancelled": disposition == "cancelled",
+                    "cancelling": disposition == "cancelling",
+                    "job": job.snapshot() if job is not None else None,
+                },
+            )
+
+    @staticmethod
+    def _parse_deadline(query: str) -> float | None:
+        """``?deadline=<seconds from now>`` → absolute wall-clock deadline."""
+        for key, value in parse_qsl(query, keep_blank_values=True):
+            if key == "deadline":
+                seconds = float(value)
+                if seconds <= 0:
+                    raise ValueError(f"deadline must be positive, got {seconds}")
+                return time.time() + seconds
+        return None
+
     # ---------------------------------------------------------------- handlers
     def _get_healthz(self) -> None:
         from repro import __version__
 
-        session = self.server.session
+        server = self.server
+        session = server.session
+        jobs = server.jobs
+        depth = jobs.queue_depth()
+        accepting = jobs.accepting
+        queue_full = jobs.max_queue is not None and depth >= jobs.max_queue
+        if not accepting:
+            status = "draining"
+        elif queue_full:
+            status = "degraded"
+        else:
+            status = "ok"
         self._send(
             200,
             {
-                "status": "ok",
+                "status": status,
                 "version": __version__,
                 "store": session.store.describe() if session.store is not None else None,
-                "jobs": self.server.jobs.counts(),
+                "jobs": jobs.counts(),
+                "totals": jobs.lifetime_counts(),
+                "queue": {
+                    "depth": depth,
+                    "limit": jobs.max_queue,
+                    "accepting": accepting,
+                },
+                "journal": {
+                    "backlog": jobs.journal.backlog() if jobs.journal is not None else 0
+                },
+                "last_failure": jobs.last_failure,
             },
         )
 
@@ -236,11 +374,32 @@ def create_server(
     job_workers: int = 1,
     batch: bool = True,
     quiet: bool = True,
+    max_queue: int | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> ReproServer:
-    """Assemble a ready-to-serve :class:`ReproServer` (port 0 = ephemeral)."""
+    """Assemble a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
+
+    When the session has a store, a crash-safe job journal is wired beside it
+    (see :func:`~repro.service.reliability.journal_for_store`) and any
+    submissions left unfinished by a previous process are replayed *before*
+    the server takes traffic — content-hash dedup and the store-cached fast
+    path make the replay idempotent.  ``max_queue`` bounds accepted-but-
+    unstarted jobs (full → 503 + ``Retry-After``); ``fault_injector`` adds
+    HTTP-level chaos for tests.
+    """
     session = Session(store_dir=store_dir, workers=workers, batch=batch)
-    jobs = JobManager(session, workers=job_workers)
-    return ReproServer((host, port), session, jobs, quiet=quiet)
+    journal = journal_for_store(session.store)
+    jobs = JobManager(
+        session,
+        workers=job_workers,
+        max_queue=max_queue,
+        journal=journal,
+        fault_injector=fault_injector,
+    )
+    jobs.replay_journal()
+    return ReproServer(
+        (host, port), session, jobs, quiet=quiet, fault_injector=fault_injector
+    )
 
 
 def serve(
@@ -251,8 +410,14 @@ def serve(
     job_workers: int = 1,
     batch: bool = True,
     quiet: bool = False,
+    max_queue: int | None = None,
 ) -> int:
-    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point behind ``repro serve`` (Ctrl-C/SIGTERM to stop).
+
+    SIGTERM and SIGINT trigger a graceful drain: the server stops accepting
+    (new submissions get 503 + ``Retry-After``), in-flight jobs finish, and
+    jobs still queued stay journaled for the next boot to replay.
+    """
     server = create_server(
         host=host,
         port=port,
@@ -261,7 +426,21 @@ def serve(
         job_workers=job_workers,
         batch=batch,
         quiet=quiet,
+        max_queue=max_queue,
     )
+
+    def _graceful(signum: int, _frame: object) -> None:  # pragma: no cover
+        # serve_forever runs on this thread, so shutdown() must come from
+        # another one — calling it here would deadlock.
+        if not quiet:
+            print(f"signal {signum}: draining (in-flight jobs will finish)")
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:  # pragma: no cover - not on the main thread
+        pass
     print(f"repro service listening on {server.url} "
           f"(store: {store_dir if store_dir is not None else 'none — in-memory'})")
     try:
@@ -269,5 +448,7 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
-        server.close()
+        leftover = server.close()
+        if leftover and not quiet:  # pragma: no cover - interactive shutdown
+            print(f"drained: {leftover} queued job(s) journaled for next boot")
     return 0

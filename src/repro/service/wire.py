@@ -25,20 +25,26 @@ __all__ = [
     "JOB_RUNNING",
     "JOB_DONE",
     "JOB_FAILED",
+    "JOB_CANCELLED",
     "JOB_STATES",
+    "TERMINAL_STATES",
     "JobStatus",
     "parse_results_body",
     "parse_scenario_body",
     "dump_results_body",
 ]
 
-#: Job lifecycle: queued → running → done | failed.  Cached submissions are
-#: born ``done``; deduplicated submissions share the original job's state.
+#: Job lifecycle: queued → running → done | failed | cancelled.  Cached
+#: submissions are born ``done``; deduplicated submissions share the original
+#: job's state; ``cancelled`` covers both explicit cancellation
+#: (``DELETE /jobs/<id>``) and an expired per-job deadline.
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
-JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+JOB_CANCELLED = "cancelled"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
 
 
 @dataclass(frozen=True)
@@ -61,13 +67,16 @@ class JobStatus:
     cached: bool = False
     deduplicated: bool = False
     error: str | None = None
+    attempts: int = 1
+    deadline: float | None = None
 
     @property
     def finished(self) -> bool:
-        return self.state in (JOB_DONE, JOB_FAILED)
+        return self.state in TERMINAL_STATES
 
     @classmethod
     def from_wire(cls, payload: dict[str, object]) -> "JobStatus":
+        deadline = payload.get("deadline")
         return cls(
             id=str(payload["id"]),
             hash=str(payload["hash"]),
@@ -78,6 +87,8 @@ class JobStatus:
             cached=bool(payload.get("cached", False)),
             deduplicated=bool(payload.get("deduplicated", False)),
             error=payload.get("error"),  # type: ignore[arg-type]
+            attempts=int(payload.get("attempts", 1)),  # type: ignore[arg-type]
+            deadline=float(deadline) if deadline is not None else None,  # type: ignore[arg-type]
         )
 
 

@@ -36,9 +36,12 @@ from repro.scenarios import (
 SPEC = "one-fail-adaptive k=32 reps=4 seed=3"
 
 #: backend name -> spec builder; must cover every registered backend.
+#: The chaos entry carries no fault options, so it must behave as a
+#: transparent proxy over its inner store — that equivalence *is* the test.
 BACKEND_SPECS = {
     "jsonl": lambda tmp: f"jsonl:{tmp / 'store'}",
     "sqlite": lambda tmp: f"sqlite:{tmp / 'store.db'}",
+    "chaos": lambda tmp: f"chaos:jsonl:{tmp / 'chaos_store'}?seed=1",
 }
 BACKENDS = sorted(BACKEND_SPECS)
 
@@ -73,6 +76,9 @@ def seeded_runs(scen: Scenario, replications: range | None = None) -> list[Store
 def corrupt_one_replication(spec: str, scen: Scenario, replication: int) -> None:
     """Backend-specific corruption: make one stored record unreadable."""
     name, location = parse_store_spec(spec)
+    if name == "chaos":  # corrupt the wrapped store (strip the chaos params)
+        corrupt_one_replication(location.rpartition("?")[0], scen, replication)
+        return
     if name == "jsonl":
         path = Path(location) / f"{scen.content_hash()}.jsonl"
         lines = path.read_text(encoding="utf-8").splitlines()

@@ -38,8 +38,15 @@ class TestEndpoints:
     def test_healthz(self, client):
         payload = client.health()
         assert payload["status"] == "ok"
-        assert payload["jobs"] == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        assert payload["jobs"] == {
+            "queued": 0, "running": 0, "done": 0, "failed": 0, "cancelled": 0,
+        }
         assert payload["store"] is not None
+        assert payload["queue"] == {"depth": 0, "limit": None, "accepting": True}
+        assert payload["journal"] == {"backlog": 0}
+        assert payload["last_failure"] is None
+        totals = payload["totals"]
+        assert totals["submitted"] == totals["rejected"] == totals["retried"] == 0
 
     def test_submit_wait_result_round_trip(self, client):
         status = client.submit(SPEC)
