@@ -18,6 +18,14 @@
 # Usage:  sh scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
+
+# --- Invariant lint ----------------------------------------------------------
+# The tree must satisfy the machine-checked invariants (seeded randomness,
+# monotonic-clock discipline, lock discipline, exception hygiene, registry
+# contracts) before any benchmark numbers are worth reporting.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli lint
+echo "invariant lint ok: src/ is clean"
+
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -m smoke --override-ini addopts= -p no:cacheprovider "$@"
 
 # --- Chaos smoke -------------------------------------------------------------

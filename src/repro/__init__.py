@@ -32,6 +32,8 @@ Quickstart::
     print(result.makespan, result.steps_per_node)   # ≈ 7.4 * k, ≈ 7.4
 """
 
+from __future__ import annotations
+
 from repro.channel import (
     BatchArrival,
     BurstyArrival,

@@ -18,6 +18,8 @@ Protocol-specific closed forms (Theorem 1, Theorem 2, the Table 1 "Analysis"
 column) live next to the protocols in :mod:`repro.core.analysis`.
 """
 
+from __future__ import annotations
+
 from repro.analysis.balls_in_bins import (
     collision_probability_upper_bound,
     expected_singletons,

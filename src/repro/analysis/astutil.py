@@ -1,0 +1,65 @@
+"""Small AST helpers shared by the lint rules.
+
+The rules need one recurring capability: resolving a call like
+``np.random.default_rng()`` or ``time()`` back to the *canonical* dotted name
+of what is being called (``numpy.random.default_rng``, ``time.time``),
+whatever import aliases the module uses.  :func:`import_aliases` builds the
+alias table from the module's import statements and :func:`resolve_call`
+applies it to a call's function expression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "import_aliases", "resolve_call"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted name, from the module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random import
+    default_rng as rng`` maps ``rng -> numpy.random.default_rng``; relative
+    imports are ignored (they cannot shadow the stdlib/numpy names the rules
+    care about).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                canonical = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_call(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of a call target, alias-resolved.
+
+    ``np.random.rand(...)`` with ``np -> numpy`` resolves to
+    ``numpy.random.rand``; a call whose target is not a plain Name/Attribute
+    chain (subscripts, calls of calls) resolves to ``None``.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical = aliases.get(head, head)
+    return f"{canonical}.{rest}" if rest else canonical

@@ -1,0 +1,495 @@
+"""The invariant-linting framework behind ``repro lint``.
+
+Every PR has added invariants that, until now, held only by convention:
+engine/protocol randomness must flow through seeded
+:class:`~repro.util.rng.RandomSource`/``numpy.random.Generator`` streams,
+durations and deadlines must be measured on the monotonic clock, shared
+:class:`~repro.service.jobs.JobManager` state must only be written under its
+lock, no handler may swallow the chaos layer's
+:class:`~repro.service.reliability.SimulatedCrash`, and every engine /
+protocol / store backend must honour its registry contract.  This module
+turns those conventions into machine-checked rules:
+
+* :class:`Finding` — one violation: file, line, rule id, message.
+* :class:`Rule` — the rule interface, refined into :class:`AstRule`
+  (per-module AST walk, with an optional cross-module :meth:`AstRule.finish`
+  pass) and :class:`ProjectRule` (import-time contract checks that inspect
+  the live registries instead of source text).
+* :class:`RuleRegistry` / :func:`register_rule` — rules register themselves
+  exactly like engines do in :mod:`repro.engine.registry`; the CLI, the
+  docs table and the test suite all enumerate :func:`available_rules`.
+* :func:`load_module` — a per-file AST cache keyed by ``(mtime, size)`` so
+  repeated lint runs (and multi-rule runs) parse each file once.
+* Suppression — a ``# repro: noqa[rule-id]`` comment on the flagged line
+  silences that rule there (``# repro: noqa`` silences every rule); a
+  committed :class:`Baseline` file grandfathers known findings without
+  letting new ones in.
+* :func:`run_lint` — the one entry point: collect files, run rules, apply
+  suppressions and the baseline, return a deterministic :class:`LintReport`
+  (two runs over the same tree produce byte-identical JSON).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "AstRule",
+    "ProjectRule",
+    "RuleRegistry",
+    "register_rule",
+    "available_rules",
+    "rule_class",
+    "rule_classes",
+    "load_module",
+    "Baseline",
+    "LintReport",
+    "run_lint",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[RULE-1,RULE-2]`` on the flagged line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_\-,\s]+)\])?")
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    Ordering is ``(path, line, rule, message)`` so reports are deterministic.
+    The :attr:`fingerprint` deliberately excludes the line number: baselined
+    findings survive unrelated edits that shift code up or down.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Parsed modules + AST cache
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, shared by every AST rule via the cache."""
+
+    path: Path  #: absolute path on disk
+    relpath: str  #: deterministic posix path used in findings
+    module: str  #: dotted module name (``repro.…`` when under a repro tree)
+    source: str
+    tree: ast.Module
+    noqa: dict[int, frozenset[str] | None]  #: line -> suppressed ids (None = all)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``# repro: noqa`` on ``line`` silences ``rule_id``."""
+        ids = self.noqa.get(line, frozenset())
+        if ids is None:
+            return True
+        return rule_id in ids
+
+    def line_text(self, line: int) -> str:
+        """The raw source line (1-based), or ``""`` past the end."""
+        lines = self.source.splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name: from the last ``repro`` path component when there
+    is one (so rule scopes like ``repro.engine`` match files wherever the
+    tree is checked out), the bare stem otherwise."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def _parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        ids = match.group(1)
+        if ids is None:
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                part.strip() for part in ids.split(",") if part.strip()
+            )
+    return table
+
+
+#: path -> ((mtime_ns, size), ModuleInfo); repeated runs parse each file once.
+_AST_CACHE: dict[Path, tuple[tuple[int, int], ModuleInfo]] = {}
+_AST_CACHE_LOCK = threading.Lock()
+
+
+def load_module(path: str | Path, relpath: str | None = None) -> ModuleInfo:
+    """Parse a source file through the ``(mtime, size)``-keyed AST cache.
+
+    Raises :class:`SyntaxError` for unparseable files (reported by
+    :func:`run_lint` as a ``parse-error`` finding) and :class:`OSError` for
+    unreadable ones.
+    """
+    path = Path(path).resolve()
+    stat = path.stat()
+    key = (stat.st_mtime_ns, stat.st_size)
+    with _AST_CACHE_LOCK:
+        hit = _AST_CACHE.get(path)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+    source = path.read_text(encoding="utf-8")
+    info = ModuleInfo(
+        path=path,
+        relpath=relpath if relpath is not None else path.as_posix(),
+        module=_module_name(path),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        noqa=_parse_noqa(source),
+    )
+    with _AST_CACHE_LOCK:
+        _AST_CACHE[path] = (key, info)
+    return info
+
+
+# --------------------------------------------------------------------------
+# Rule interface + registry (mirrors the engine-registry idiom)
+# --------------------------------------------------------------------------
+
+
+class Rule(ABC):
+    """One invariant check.  Subclasses declare ``id``/``name``/``description``
+    class attributes and register themselves with :func:`register_rule`;
+    ``scope`` restricts an AST rule to dotted-module prefixes (``None`` means
+    every linted file)."""
+
+    id: ClassVar[str]
+    name: ClassVar[str]
+    description: ClassVar[str]
+    scope: ClassVar[tuple[str, ...] | None] = None
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if self.scope is None:
+            return True
+        return any(
+            module.module == prefix or module.module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+
+class AstRule(Rule):
+    """A rule that walks one module's AST at a time.
+
+    :meth:`finish` runs once after every module has been checked — rules that
+    need cross-module aggregation (the lock-order graph) accumulate state in
+    :meth:`check_module` and report from :meth:`finish`.
+    """
+
+    @abstractmethod
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def finish(self) -> Iterator[Finding]:
+        """Cross-module findings, after every module was checked."""
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """An import-time contract check against the live registries.
+
+    These rules import :mod:`repro` and interrogate the engine / protocol /
+    store registries directly — declarations that parse but violate their
+    contract are caught here, not by text matching.
+    """
+
+    @abstractmethod
+    def check_project(self) -> Iterator[Finding]:
+        """Yield findings for the imported ``repro`` package."""
+
+
+class RuleRegistry:
+    """Rule-id -> rule-class mapping with the engine registry's query API."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, type[Rule]] = {}
+
+    def register(self, cls: type[Rule]) -> type[Rule]:
+        rule_id = getattr(cls, "id", None)
+        if not isinstance(rule_id, str) or not rule_id:
+            raise ValueError(f"{cls.__name__} must define a non-empty 'id' attribute")
+        for attr in ("name", "description"):
+            if not isinstance(getattr(cls, attr, None), str):
+                raise ValueError(f"{cls.__name__} must define a '{attr}' string attribute")
+        existing = self._rules.get(rule_id)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"rule id {rule_id!r} already registered by {existing.__name__}"
+            )
+        self._rules[rule_id] = cls
+        return cls
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def rule_class(self, rule_id: str) -> type[Rule]:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown rule {rule_id!r}; choose from {self.ids()}"
+            ) from None
+
+
+_REGISTRY = RuleRegistry()
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Register a rule class with the process-wide registry (decorator)."""
+    return _REGISTRY.register(cls)
+
+
+def _loaded() -> RuleRegistry:
+    # Importing the rule modules registers every built-in rule; after the
+    # first call this is a no-op.
+    import repro.analysis.rules_concurrency  # noqa: F401
+    import repro.analysis.rules_determinism  # noqa: F401
+    import repro.analysis.rules_hygiene  # noqa: F401
+    import repro.analysis.rules_registry  # noqa: F401
+
+    return _REGISTRY
+
+
+def available_rules() -> list[str]:
+    """Sorted ids of every registered rule."""
+    return _loaded().ids()
+
+
+def rule_class(rule_id: str) -> type[Rule]:
+    """Look up a registered rule class by id."""
+    return _loaded().rule_class(rule_id)
+
+
+def rule_classes(rule_ids: Sequence[str] | None = None) -> list[type[Rule]]:
+    """The rule classes for ``rule_ids`` (default: every registered rule)."""
+    registry = _loaded()
+    ids = registry.ids() if rule_ids is None else list(rule_ids)
+    return [registry.rule_class(rule_id) for rule_id in ids]
+
+
+# --------------------------------------------------------------------------
+# Baseline
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed by :attr:`Finding.fingerprint`.
+
+    The committed file is a budget, not a blanket: each baselined fingerprint
+    absorbs at most its recorded count of findings, so *new* occurrences of
+    an old problem still fail the lint.  Fixing a baselined finding leaves a
+    stale entry behind — regenerate with ``repro lint --write-baseline``.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> "Baseline":
+        """Read a baseline file; a missing/``None`` path is an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        counts: dict[str, int] = {}
+        for entry in payload.get("findings", []):
+            fingerprint = f"{entry['rule']}::{entry['path']}::{entry['message']}"
+            counts[fingerprint] = counts.get(fingerprint, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+    def to_json(self) -> str:
+        findings = []
+        for fingerprint in sorted(self.counts):
+            rule, path, message = fingerprint.split("::", 2)
+            findings.append(
+                {"rule": rule, "path": path, "message": message, "count": self.counts[fingerprint]}
+            )
+        return json.dumps({"version": 1, "findings": findings}, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    def filter(self, findings: Sequence[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, baselined-count)."""
+        budget = dict(self.counts)
+        kept: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            remaining = budget.get(finding.fingerprint, 0)
+            if remaining > 0:
+                budget[finding.fingerprint] = remaining - 1
+                absorbed += 1
+            else:
+                kept.append(finding)
+        return kept, absorbed
+
+
+# --------------------------------------------------------------------------
+# Running
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run; :attr:`findings` are the *actionable*
+    ones (noqa-suppressed and baselined findings are only counted)."""
+
+    findings: tuple[Finding, ...]
+    files: int
+    rules: tuple[str, ...]
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files": self.files,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "clean": self.clean,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: set[Path] = set()
+    for target in paths:
+        target = Path(target)
+        if target.is_dir():
+            files.update(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
+        elif target.suffix == ".py":
+            files.add(target)
+        else:
+            raise ValueError(f"lint target {target} is neither a directory nor a .py file")
+    return sorted(files)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[str] | None = None,
+    baseline: Baseline | str | Path | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with the selected rules.
+
+    ``rules`` filters by id (default: every registered rule — AST rules walk
+    the collected files, project rules interrogate the live registries once).
+    ``baseline`` absorbs grandfathered findings; ``root`` anchors the
+    deterministic relative paths in findings (default: the current working
+    directory).  Unparseable files surface as ``parse-error`` findings rather
+    than aborting the run.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    selected = [cls() for cls in rule_classes(rules)]
+    ast_rules = [rule for rule in selected if isinstance(rule, AstRule)]
+    project_rules = [rule for rule in selected if isinstance(rule, ProjectRule)]
+
+    raw: list[Finding] = []
+    suppressed = 0
+    files = _collect_files(paths)
+    for path in files:
+        relpath = _relpath(path, root)
+        try:
+            module = load_module(path, relpath=relpath)
+        except SyntaxError as error:
+            raw.append(
+                Finding(relpath, error.lineno or 1, "parse-error", f"cannot parse: {error.msg}")
+            )
+            continue
+        for rule in ast_rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check_module(module):
+                if module.suppressed(finding.line, finding.rule):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+    for rule in ast_rules:
+        raw.extend(rule.finish())
+    for rule in project_rules:
+        for finding in rule.check_project():
+            raw.append(
+                Finding(_relpath(Path(finding.path), root), finding.line, finding.rule, finding.message)
+            )
+
+    raw.sort()
+    if not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+    kept, absorbed = baseline.filter(raw)
+    return LintReport(
+        findings=tuple(kept),
+        files=len(files),
+        rules=tuple(sorted(rule.id for rule in selected)),
+        suppressed=suppressed,
+        baselined=absorbed,
+    )

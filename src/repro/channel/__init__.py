@@ -19,6 +19,8 @@ This package implements that substrate:
 * :mod:`repro.channel.radio_network` — the exact node-level simulator.
 """
 
+from __future__ import annotations
+
 from repro.channel.model import (
     ChannelModel,
     FeedbackModel,

@@ -27,7 +27,11 @@ Subcommands:
   :mod:`repro.experiments.table1`);
 * ``dynamic``   — the dynamic-arrivals experiment (delegates to
   :mod:`repro.experiments.dynamic`);
-* ``protocols`` — list the registered protocols and the knowledge they need.
+* ``protocols`` — list the registered protocols and the knowledge they need;
+* ``lint``      — run the invariant checker (:mod:`repro.analysis`) over the
+  source tree: seeded-randomness discipline, monotonic-clock discipline,
+  lock discipline, exception hygiene and registry contracts; exits non-zero
+  on findings so it can gate CI.
 
 The figure/table/dynamic subcommands accept the same flags as their
 ``python -m`` counterparts (``--max-k``, ``--runs``, ``--seed``,
@@ -439,6 +443,47 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return dynamic_main(args.rest)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.core import Baseline, available_rules, rule_class, run_lint
+
+    if args.list_rules:
+        rows = []
+        for rule_id in available_rules():
+            cls = rule_class(rule_id)
+            rows.append([rule_id, cls.name, cls.description])
+        print(format_text_table(["id", "name", "description"], rows))
+        return 0
+
+    paths = args.paths or ["src"]
+    baseline_path = Path(args.baseline) if args.baseline else Path("lint_baseline.json")
+    try:
+        if args.write_baseline:
+            report = run_lint(paths, rules=args.rule or None)
+            Baseline.from_findings(report.findings).save(baseline_path)
+            print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+            return 0
+        report = run_lint(paths, rules=args.rule or None, baseline=baseline_path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files} file(s) "
+            f"({len(report.rules)} rule(s)"
+        )
+        if report.suppressed:
+            summary += f", {report.suppressed} suppressed"
+        if report.baselined:
+            summary += f", {report.baselined} baselined"
+        print(summary + ")")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -613,6 +658,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     protocols = subparsers.add_parser("protocols", help="list registered protocols")
     protocols.set_defaults(func=_cmd_protocols)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="check the source tree against the repository invariants",
+        description="Run the invariant checker over the source tree: seeded-randomness "
+        "discipline (RND001), monotonic-clock discipline (CLK001), lock discipline "
+        "(LCK001/LCK002), exception hygiene (EXC001-003), annotation coverage "
+        "(ANN001/ANN002) and registry contracts (REG001-003).  Exits 0 when clean, "
+        "1 on findings, 2 on usage errors.  Suppress a single line with "
+        "'# repro: noqa[RULE-ID]'; grandfather existing findings with --write-baseline.",
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src)"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of grandfathered findings (default: lint_baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     figure1 = subparsers.add_parser("figure1", help="reproduce Figure 1 (forwards remaining flags)")
     figure1.add_argument("rest", nargs=argparse.REMAINDER)

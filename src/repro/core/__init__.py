@@ -15,6 +15,8 @@
   the "Analysis" column of Table 1 and to cross-check simulations.
 """
 
+from __future__ import annotations
+
 from repro.core.constants import (
     EBB_DELTA_DEFAULT,
     EBB_DELTA_MAX,

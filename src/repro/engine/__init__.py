@@ -77,6 +77,8 @@ and :mod:`repro.engine.validation` provides the statistical cross-checks
 used by the test suite and the engine ablation benchmark.
 """
 
+from __future__ import annotations
+
 from repro.engine.registry import (
     EngineCapabilities,
     EngineRegistry,

@@ -21,6 +21,7 @@ need no special-casing for the paper's open dynamic problem.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 from repro.channel.arrivals import ArrivalProcess
 from repro.channel.model import ChannelModel
@@ -63,7 +64,7 @@ def pick_engine(
     engine: str = "auto",
     channel: ChannelModel | None = None,
     arrivals: ArrivalProcess | None = None,
-):
+) -> Any:
     """Instantiate the engine to use for ``protocol``.
 
     ``engine`` may be ``"auto"`` (default) or any name from

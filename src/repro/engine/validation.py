@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 from repro.engine.result import SimulationResult
 from repro.protocols.base import Protocol
@@ -22,7 +23,7 @@ __all__ = ["makespan_samples", "compare_engines", "EngineComparison"]
 
 
 def makespan_samples(
-    engine,
+    engine: Any,
     protocol: Protocol,
     k: int,
     runs: int,
@@ -76,8 +77,8 @@ def _mean_std(samples: list[int]) -> tuple[float, float]:
 
 
 def compare_engines(
-    engine_a,
-    engine_b,
+    engine_a: Any,
+    engine_b: Any,
     protocol: Protocol,
     k: int,
     runs: int = 50,

@@ -20,6 +20,8 @@
 * :mod:`repro.experiments.export` — CSV / Markdown / gnuplot writers.
 """
 
+from __future__ import annotations
+
 from repro.experiments.config import (
     ExperimentConfig,
     ProtocolSpec,

@@ -18,6 +18,8 @@ are built on plus every protocol the paper compares against or discusses:
   classical collision-detection baseline from the related-work section.
 """
 
+from __future__ import annotations
+
 from repro.protocols.base import (
     FairProtocol,
     Protocol,

@@ -33,6 +33,8 @@ simulations — every replication is served from the store.  Pass
 everywhere.
 """
 
+from __future__ import annotations
+
 from repro.scenarios.federation import RemoteStore, SyncReport
 from repro.scenarios.federation import sync as sync_stores
 from repro.scenarios.scenario import SEED_POLICIES, Scenario

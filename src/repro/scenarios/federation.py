@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import (
     CompactionReport,
+    RunMeta,
     StoreBackend,
     StoreCapabilities,
     StoredRun,
@@ -148,9 +149,7 @@ class RemoteStore(StoreBackend):
             )
         return runs
 
-    def run_index(self, scenario: Scenario):  # noqa: ANN201 - see StoreBackend
-        from repro.scenarios.store import RunMeta
-
+    def run_index(self, scenario: Scenario) -> dict[int, RunMeta]:
         return {
             replication: RunMeta(
                 replication=replication,

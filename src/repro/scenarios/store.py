@@ -99,6 +99,7 @@ __all__ = [
     "parse_store_spec",
     "register_store_backend",
     "available_store_backends",
+    "store_backend_class",
 ]
 
 #: Shape of :meth:`Scenario.content_hash` digests (16 lowercase hex digits).
@@ -330,6 +331,18 @@ def available_store_backends() -> tuple[str, ...]:
     """Registered backend names, sorted (``('chaos', 'jsonl', 'sqlite')`` out of the box)."""
     _ensure_builtin_backends()
     return tuple(sorted(_BACKENDS))
+
+
+def store_backend_class(name: str) -> type[StoreBackend]:
+    """Look up a registered backend class by name (the ``repro lint``
+    store-contract rule audits every registered backend through this)."""
+    _ensure_builtin_backends()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
 
 
 def parse_store_spec(spec: str) -> tuple[str, str]:

@@ -43,6 +43,7 @@ from repro.scenarios.store import (
     RunMeta,
     StoreBackend,
     StoredRun,
+    StoreRecord,
     open_store,
     register_store_backend,
 )
@@ -148,7 +149,7 @@ class ChaosStore(StoreBackend):
     def compact(self) -> CompactionReport:
         return self.inner.compact()
 
-    def summaries(self):  # noqa: ANN201 - see StoreBackend
+    def summaries(self) -> list[StoreRecord]:
         return self.inner.summaries()
 
     def close(self) -> None:

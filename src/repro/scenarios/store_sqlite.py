@@ -260,7 +260,7 @@ class SqliteStore(StoreBackend):
         if not runs:
             return
         content_hash = scenario.content_hash()
-        now = time.time()
+        now = time.time()  # repro: noqa[CLK001] - persisted updated_at metadata
         connection = self._connection()
         connection.execute("BEGIN IMMEDIATE")
         try:
@@ -354,7 +354,7 @@ class SqliteStore(StoreBackend):
     def compact(self) -> CompactionReport:
         """Evict per policy, checkpoint the WAL, and vacuum the database."""
         connection = self._connection()
-        now = time.time()
+        now = time.time()  # repro: noqa[CLK001] - TTL eviction compares persisted wall-clock stamps
         connection.execute("BEGIN IMMEDIATE")
         try:
             scenarios = connection.execute("SELECT COUNT(*) FROM scenarios").fetchone()[0]

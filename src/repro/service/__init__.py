@@ -56,6 +56,8 @@ run is in flight the submission dedups onto it; afterwards the result store
 answers it synchronously (``cached: true``).
 """
 
+from __future__ import annotations
+
 from repro.service.client import ServiceClient, ServiceError, TransientServiceError
 from repro.service.jobs import Job, JobManager
 from repro.service.reliability import (

@@ -30,10 +30,12 @@ Fault tolerance (see :mod:`repro.service.reliability`)
   errors (injected faults, store/connection hiccups) are retried with
   exponential backoff; because completed replications persist as they finish,
   a retry re-simulates only the *missing* ones (partial-cell resume).
-* **Deadlines & cancellation** — each job may carry an absolute wall-clock
-  ``deadline``; :meth:`cancel` aborts a queued job immediately and requests
-  cooperative cancellation of a running one.  Both abort paths are checked
-  between replications from the progress callback.
+* **Deadlines & cancellation** — each job may carry a ``deadline`` given as
+  *seconds from submission*; internally it is tracked on the monotonic clock
+  (immune to NTP/DST wall-clock jumps) while the wire and the journal carry
+  the wall-clock ETA.  :meth:`cancel` aborts a queued job immediately and
+  requests cooperative cancellation of a running one.  Both abort paths are
+  checked between replications from the progress callback.
 * **Bounded queue & drain** — ``max_queue`` caps accepted-but-unstarted
   work; beyond it :meth:`submit` raises
   :class:`~repro.service.reliability.Overloaded` (the server maps this to
@@ -107,7 +109,8 @@ class Job:
     cached: bool = False
     error: str | None = None
     result_set: ResultSet | None = None
-    deadline: float | None = None  #: absolute wall-clock limit (time.time())
+    deadline: float | None = None  #: absolute monotonic limit (time.monotonic())
+    deadline_at: float | None = None  #: wall-clock ETA of the deadline (wire/journal)
     attempts: int = 0
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
@@ -133,7 +136,7 @@ class Job:
             "cached": self.cached,
             "error": self.error,
             "attempts": self.attempts,
-            "deadline": self.deadline,
+            "deadline": self.deadline_at,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -181,6 +184,22 @@ class JobManager:
     retry_sleep:
         Sleep used between retry attempts (injectable for tests).
     """
+
+    #: Shared state written only under ``self._lock`` — machine-checked by
+    #: the ``repro lint`` lock-discipline rule (LCK001).
+    _lock_guarded = frozenset(
+        {
+            "_queue",
+            "_jobs",
+            "_inflight",
+            "_finished_order",
+            "_next_id",
+            "_shutdown",
+            "_accepting",
+            "_totals",
+            "_last_failure",
+        }
+    )
 
     def __init__(
         self,
@@ -235,12 +254,13 @@ class JobManager:
         """Submit a scenario; returns ``(job, disposition)``.
 
         ``disposition`` is ``"cached"``, ``"deduplicated"`` or ``"queued"``
-        (see module docstring).  ``deadline`` is an *absolute* wall-clock
-        limit (``time.time()`` scale); a job whose deadline passes before it
-        completes is cancelled with :class:`DeadlineExceeded`.  Raises
-        :class:`Overloaded` when the queue is full or the manager is
-        draining — the journal entry for a queued submission is durable
-        before this method returns.
+        (see module docstring).  ``deadline`` is a *relative* limit in
+        seconds from now (checked on the monotonic clock, so wall-clock
+        jumps cannot spuriously expire or extend it); a job whose deadline
+        passes before it completes is cancelled with
+        :class:`DeadlineExceeded`.  Raises :class:`Overloaded` when the
+        queue is full or the manager is draining — the journal entry for a
+        queued submission is durable before this method returns.
         """
         content_hash = scenario.content_hash()
         with self._lock:
@@ -262,7 +282,7 @@ class JobManager:
             with self._lock:
                 self._totals["submitted"] += 1
                 job = self._register(scenario, content_hash, inflight=False)
-                job.started_at = job.finished_at = time.time()
+                job.started_at = job.finished_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
                 job.result_set = cached_result
                 job.done = job.total
                 job.cached = True
@@ -283,10 +303,12 @@ class JobManager:
                     retry_after=self._retry_after_hint(),
                 )
             job = self._register(scenario, content_hash, inflight=True)
-            job.deadline = deadline
+            if deadline is not None:
+                job.deadline = time.monotonic() + deadline
+                job.deadline_at = time.time() + deadline  # repro: noqa[CLK001] - wall-clock ETA for the wire/journal
             if self.journal is not None:
                 try:
-                    self.journal.record(job.id, scenario, deadline=deadline)
+                    self.journal.record(job.id, scenario, deadline=job.deadline_at)
                 except Exception:
                     # The durability guarantee is journal-then-accept; a
                     # submission we cannot journal is a submission we never
@@ -300,6 +322,7 @@ class JobManager:
         return job, "queued"
 
     def _check_accepting(self) -> None:
+        """Reject during drain; the manager lock must be held."""
         if not self._accepting:
             self._totals["rejected"] += 1
             raise Overloaded("server is draining", retry_after=5.0)
@@ -404,7 +427,7 @@ class JobManager:
 
     def _note_failure(self, job_id: str | None, message: str) -> None:
         with self._lock:
-            self._last_failure = {"job": job_id, "error": message, "at": time.time()}
+            self._last_failure = {"job": job_id, "error": message, "at": time.time()}  # repro: noqa[CLK001] - wall-clock metadata
 
     # ------------------------------------------------------------- execution
     def process_next(self) -> Job | None:
@@ -435,7 +458,7 @@ class JobManager:
         """Raise the cooperative-abort signal if the job should stop now."""
         if job.cancel_requested.is_set():
             raise JobCancelled("cancelled by request")
-        if job.deadline is not None and time.time() >= job.deadline:
+        if job.deadline is not None and time.monotonic() >= job.deadline:
             raise DeadlineExceeded(
                 f"deadline exceeded ({job.done}/{job.total} replications done)"
             )
@@ -450,7 +473,7 @@ class JobManager:
         entry stays pending for the next boot's replay.
         """
         job.state = JOB_RUNNING
-        job.started_at = time.time()
+        job.started_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
 
         def progress(_index: int, _scenario: Scenario, done: int, _total: int) -> None:
             job.done = done
@@ -469,7 +492,7 @@ class JobManager:
                 job.state = JOB_CANCELLED
                 job.error = str(error)
                 break
-            except Exception as error:  # a failed job must not kill its worker
+            except Exception as error:  # noqa: BLE001 - a failed job must not kill its worker (SimulatedCrash is a BaseException, so it still propagates)
                 if (
                     policy is not None
                     and job.attempts < policy.max_attempts
@@ -497,7 +520,7 @@ class JobManager:
                 job.state = JOB_DONE
                 job.done = job.total
                 break
-        job.finished_at = time.time()
+        job.finished_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
         with self._lock:
             if self._inflight.get(job.content_hash) is job:
                 del self._inflight[job.content_hash]
@@ -540,7 +563,7 @@ class JobManager:
             if job.state == JOB_QUEUED:
                 job.state = JOB_CANCELLED
                 job.error = "cancelled before start"
-                job.finished_at = time.time()
+                job.finished_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
                 try:
                     self._queue.remove(job)
                 except ValueError:
@@ -583,8 +606,15 @@ class JobManager:
                     "dropping unreplayable journal entry %s: %s", entry.job_id, error
                 )
                 continue
+            # The journal persists the wall-clock deadline ETA (monotonic
+            # clocks do not survive a restart); convert back to seconds
+            # remaining — an already-expired entry submits with a
+            # non-positive budget and aborts with DeadlineExceeded.
+            remaining = None
+            if entry.deadline is not None:
+                remaining = entry.deadline - time.time()  # repro: noqa[CLK001] - wall-clock ETA from the journal
             try:
-                self.submit(scenario, deadline=entry.deadline)
+                self.submit(scenario, deadline=remaining)
             except Overloaded:
                 self.journal.record_entry(entry)
                 continue

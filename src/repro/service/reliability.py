@@ -263,7 +263,7 @@ class JobJournal:
                 "id": job_id,
                 "scenario": scenario.to_dict(),
                 "deadline": deadline,
-                "recorded_at": time.time(),
+                "recorded_at": time.time(),  # repro: noqa[CLK001] - persisted wall-clock metadata
             }
         )
 
@@ -275,13 +275,13 @@ class JobJournal:
                 "id": entry.job_id,
                 "scenario": entry.scenario,
                 "deadline": entry.deadline,
-                "recorded_at": entry.recorded_at or time.time(),
+                "recorded_at": entry.recorded_at or time.time(),  # repro: noqa[CLK001] - persisted wall-clock metadata
             }
         )
 
     def mark(self, job_id: str, state: str) -> None:
         """Record a job's terminal state; its submit entry stops being pending."""
-        self._append({"kind": "mark", "id": job_id, "state": state, "at": time.time()})
+        self._append({"kind": "mark", "id": job_id, "state": state, "at": time.time()})  # repro: noqa[CLK001] - persisted wall-clock metadata
 
     def reset(self) -> None:
         """Truncate the journal (boot-time replay takes ownership of entries)."""

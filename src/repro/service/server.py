@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import signal
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qsl, urlsplit
@@ -60,6 +59,7 @@ from repro.scenarios.spec import SpecError
 from repro.service.jobs import JobManager
 from repro.service.reliability import (
     FaultInjector,
+    InjectedFault,
     Overloaded,
     SimulatedCrash,
     journal_for_store,
@@ -158,7 +158,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
         except SimulatedCrash:  # pragma: no cover - defensive
             raise
-        except Exception as error:  # InjectedFault → a retryable 500
+        except InjectedFault as error:  # → a retryable 500
             self._error(500, f"injected server fault: {error}")
             return True
         return False
@@ -248,13 +248,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _parse_deadline(query: str) -> float | None:
-        """``?deadline=<seconds from now>`` → absolute wall-clock deadline."""
+        """``?deadline=<seconds from now>`` → validated relative seconds.
+
+        The manager tracks the deadline on the monotonic clock; the wire
+        stays relative so clients and server need not share a wall clock.
+        """
         for key, value in parse_qsl(query, keep_blank_values=True):
             if key == "deadline":
                 seconds = float(value)
                 if seconds <= 0:
                     raise ValueError(f"deadline must be positive, got {seconds}")
-                return time.time() + seconds
+                return seconds
         return None
 
     # ---------------------------------------------------------------- handlers

@@ -6,6 +6,8 @@ used across :mod:`repro.channel`, :mod:`repro.engine` and
 experiment output human-readable without external plotting dependencies.
 """
 
+from __future__ import annotations
+
 from repro.util.rng import (
     RandomSource,
     derive_seeds,

@@ -101,10 +101,10 @@ class RandomSource:
             raise ValueError(f"index must be non-negative, got {index}")
         return RandomSource(seed=self.seed, lineage=self.lineage + (index,))
 
-    def integers(self, low: int, high: int, size: int | None = None):
+    def integers(self, low: int, high: int, size: int | None = None) -> int | np.ndarray:
         """Proxy for ``Generator.integers`` (kept for call-site brevity)."""
         return self.generator.integers(low, high, size=size)
 
-    def random(self, size: int | None = None):
+    def random(self, size: int | None = None) -> float | np.ndarray:
         """Proxy for ``Generator.random``."""
         return self.generator.random(size=size)

@@ -1,0 +1,539 @@
+"""Fixture-driven rule tests: one violating and one conforming snippet per rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.core import run_lint
+
+
+def lint_snippet(tmp_path, relpath, source, rules):
+    """Lint one fixture file written at ``relpath`` (scoped rules key off the
+    ``repro/...`` path components) and return the findings."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint([path], rules=rules, root=tmp_path).findings
+
+
+class TestGlobalRandomnessRule:
+    def test_stdlib_random_flagged_in_engine_scope(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/engine/fake.py",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            ["RND001"],
+        )
+        assert [f.rule for f in findings] == ["RND001"]
+        assert "random.random" in findings[0].message
+
+    def test_import_alias_is_resolved(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/protocols/fake.py",
+            """
+            import random as rnd
+
+            def draw():
+                return rnd.randint(0, 1)
+            """,
+            ["RND001"],
+        )
+        assert len(findings) == 1
+
+    def test_legacy_numpy_global_api_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/channel/fake.py",
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.randint(0, 2)
+            """,
+            ["RND001"],
+        )
+        assert len(findings) == 1 and "np.random.randint" in findings[0].message
+
+    def test_argless_default_rng_flagged_but_seeded_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/fake.py",
+            """
+            from numpy.random import default_rng
+
+            def bad():
+                return default_rng()
+
+            def good(seed):
+                return default_rng(seed)
+            """,
+            ["RND001"],
+        )
+        assert len(findings) == 1 and "argless" in findings[0].message
+
+    def test_injected_generator_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/engine/fake.py",
+            """
+            def draw(rng):
+                return rng.integers(0, 2)
+            """,
+            ["RND001"],
+        )
+        assert findings == ()
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/fake.py",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            ["RND001"],
+        )
+        assert findings == ()
+
+
+class TestClockDisciplineRule:
+    def test_time_time_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import time
+
+            def deadline(seconds):
+                return time.time() + seconds
+            """,
+            ["CLK001"],
+        )
+        assert [f.rule for f in findings] == ["CLK001"]
+
+    def test_monotonic_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import time
+
+            def deadline(seconds):
+                return time.monotonic() + seconds
+            """,
+            ["CLK001"],
+        )
+        assert findings == ()
+
+    def test_marked_wall_clock_metadata_is_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: noqa[CLK001] - wall-clock metadata
+            """,
+            ["CLK001"],
+        )
+        assert findings == ()
+
+
+LOCKED_CLASS = (
+    "import threading\n"
+    "\n"
+    "class Manager:\n"
+    '    _lock_guarded = frozenset({"_jobs"})\n'
+    "\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._cond = threading.Condition(self._lock)\n"
+    "        self._jobs = {}\n"
+    "\n"
+    "    def %s"
+)
+
+
+class TestLockDisciplineRule:
+    def write(self, tmp_path, method):
+        return lint_snippet(
+            tmp_path, "repro/service/fake.py", LOCKED_CLASS % method, ["LCK001"]
+        )
+
+    def test_unlocked_write_flagged(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "add(self, job):\n        self._jobs[job] = 1\n",
+        )
+        assert len(findings) == 1 and "_jobs" in findings[0].message
+
+    def test_unlocked_mutator_call_flagged(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "clear_all(self):\n        self._jobs.clear()\n",
+        )
+        assert len(findings) == 1 and ".clear()" in findings[0].message
+
+    def test_write_under_lock_is_clean(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "add(self, job):\n        with self._lock:\n            self._jobs[job] = 1\n",
+        )
+        assert findings == ()
+
+    def test_condition_aliases_its_lock(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "add(self, job):\n        with self._cond:\n            self._jobs[job] = 1\n",
+        )
+        assert findings == ()
+
+    def test_nested_function_does_not_inherit_the_lock(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "add(self, job):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self._jobs[job] = 1\n"
+            "            return later\n",
+        )
+        assert len(findings) == 1
+
+    def test_lock_held_docstring_exempts_helper(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            'add(self, job):\n        """The manager lock must be held."""\n'
+            "        self._jobs[job] = 1\n",
+        )
+        assert findings == ()
+
+    def test_locked_suffix_exempts_helper(self, tmp_path):
+        findings = self.write(
+            tmp_path,
+            "add_locked(self, job):\n        self._jobs[job] = 1\n",
+        )
+        assert findings == ()
+
+    def test_init_is_exempt(self, tmp_path):
+        # LOCKED_CLASS's __init__ itself assigns self._jobs unlocked.
+        findings = self.write(tmp_path, "noop(self):\n        pass\n")
+        assert findings == ()
+
+    def test_undeclared_class_is_not_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import threading
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}
+
+                def add(self, job):
+                    self._jobs[job] = 1
+            """,
+            ["LCK001"],
+        )
+        assert findings == ()
+
+
+class TestLockOrderRule:
+    def test_order_inversion_reported_from_finish_pass(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import threading
+
+            _a = threading.Lock()
+            _b = threading.Lock()
+
+            def one():
+                with _a:
+                    with _b:
+                        pass
+
+            def two():
+                with _b:
+                    with _a:
+                        pass
+            """,
+            ["LCK002"],
+        )
+        assert [f.rule for f in findings] == ["LCK002"]
+        assert "inversion" in findings[0].message
+
+    def test_class_lock_inversion_across_modules(self, tmp_path):
+        # The graph is keyed by ClassName.lock, so methods of the same class
+        # split across modules still collide.
+        template = (
+            "import threading\n"
+            "class Manager:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def run(self):\n"
+            "        with self.%s:\n"
+            "            with self.%s:\n"
+            "                pass\n"
+        )
+        for name, order in (("first", ("_a", "_b")), ("second", ("_b", "_a"))):
+            path = tmp_path / f"repro/service/{name}.py"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(template % order, encoding="utf-8")
+        findings = run_lint([tmp_path], rules=["LCK002"], root=tmp_path).findings
+        assert [f.rule for f in findings] == ["LCK002"]
+        assert "inversion" in findings[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import threading
+
+            _a = threading.Lock()
+            _b = threading.Lock()
+
+            def one():
+                with _a:
+                    with _b:
+                        pass
+
+            def two():
+                with _a:
+                    with _b:
+                        pass
+            """,
+            ["LCK002"],
+        )
+        assert findings == ()
+
+    def test_reentrant_reacquisition_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            import threading
+
+            _a = threading.Lock()
+
+            def run():
+                with _a:
+                    with _a:
+                        pass
+            """,
+            ["LCK002"],
+        )
+        assert len(findings) == 1 and "re-acquisition" in findings[0].message
+
+
+class TestExceptionRules:
+    def test_bare_except_flagged_everywhere(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except:
+                    pass
+            """,
+            ["EXC001"],
+        )
+        assert [f.rule for f in findings] == ["EXC001"]
+
+    def test_baseexception_swallow_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except BaseException:
+                    pass
+            """,
+            ["EXC002"],
+        )
+        assert [f.rule for f in findings] == ["EXC002"]
+
+    def test_baseexception_with_reraise_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run(conn):
+                try:
+                    pass
+                except BaseException:
+                    conn.rollback()
+                    raise
+            """,
+            ["EXC002"],
+        )
+        assert findings == ()
+
+    def test_raise_in_nested_function_does_not_count(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except BaseException:
+                    def later():
+                        raise ValueError("not a re-raise of ours")
+                    later()
+            """,
+            ["EXC002"],
+        )
+        assert len(findings) == 1
+
+    def test_broad_except_flagged_in_fault_injected_scope(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except Exception:
+                    pass
+            """,
+            ["EXC003"],
+        )
+        assert [f.rule for f in findings] == ["EXC003"]
+
+    def test_broad_except_out_of_scope_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except Exception:
+                    pass
+            """,
+            ["EXC003"],
+        )
+        assert findings == ()
+
+    def test_ble001_marker_justifies_broad_except(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            def run():
+                try:
+                    pass
+                except Exception:  # noqa: BLE001 - probe failure = miss
+                    pass
+            """,
+            ["EXC003"],
+        )
+        assert findings == ()
+
+    def test_reraising_broad_except_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/service/fake.py",
+            """
+            def run(log):
+                try:
+                    pass
+                except Exception as error:
+                    log.warning("%s", error)
+                    raise
+            """,
+            ["EXC003"],
+        )
+        assert findings == ()
+
+
+class TestAnnotationRules:
+    def test_missing_future_import_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run():
+                pass
+            """,
+            ["ANN001"],
+        )
+        assert [f.rule for f in findings] == ["ANN001"]
+
+    def test_future_import_present_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            from __future__ import annotations
+
+            def run():
+                pass
+            """,
+            ["ANN001"],
+        )
+        assert findings == ()
+
+    def test_module_defining_nothing_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/util/fake.py", "VERSION = 1\n", ["ANN001"]
+        )
+        assert findings == ()
+
+    def test_unannotated_public_function_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def run(value) -> None:
+                pass
+
+            def also(value: int):
+                pass
+            """,
+            ["ANN002"],
+        )
+        assert len(findings) == 2
+        assert "unannotated parameter" in findings[0].message
+        assert "return annotation" in findings[1].message
+
+    def test_private_helpers_and_method_self_are_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/util/fake.py",
+            """
+            def _helper(value):
+                pass
+
+            class Public:
+                def method(self, value: int) -> None:
+                    pass
+
+                def __repr__(self):
+                    return "Public()"
+
+            class _Private:
+                def method(self, value):
+                    pass
+            """,
+            ["ANN002"],
+        )
+        assert findings == ()

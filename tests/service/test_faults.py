@@ -167,6 +167,34 @@ class TestJournalReplay:
         assert reborn.replay_journal() == 2
         assert reborn.queue_depth() == 2
 
+    def test_replay_converts_journaled_deadline_back_to_relative(self, tmp_path):
+        """The journal persists the wall-clock ETA (monotonic clocks do not
+        survive a restart); replay re-derives the seconds remaining."""
+        store_dir = tmp_path / "store"
+        manager = make_manager(Session(store_dir=store_dir))
+        manager.submit(scenario(), deadline=3600.0)
+        manager.drain()
+        reborn = make_manager(Session(store_dir=store_dir))
+        assert reborn.replay_journal() == 1
+        job = reborn.jobs()[0]
+        # Still roughly an hour of budget, on both clocks.
+        assert job.deadline is not None and job.deadline_at is not None
+        assert 3500.0 < job.deadline - time.monotonic() <= 3600.0
+        assert 3500.0 < job.deadline_at - time.time() <= 3600.0
+
+    def test_replay_of_expired_deadline_aborts_not_simulates(self, tmp_path):
+        store_dir = tmp_path / "store"
+        manager = make_manager(Session(store_dir=store_dir))
+        job, _ = manager.submit(scenario(), deadline=0.001)
+        manager.drain()
+        time.sleep(0.01)  # the budget lapses while the process is "down"
+        reborn = make_manager(Session(store_dir=store_dir))
+        assert reborn.replay_journal() == 1
+        replayed = reborn.process_next()
+        assert replayed is not None and replayed.state == JOB_CANCELLED
+        assert "deadline exceeded" in replayed.error
+        assert replayed.attempts == 1  # aborted before any simulation work
+
 
 class TestRetriesAndResume:
     def test_partial_cell_failure_resumes_from_completed_prefix(self, tmp_path):
@@ -250,16 +278,20 @@ class TestCancellationAndDeadlines:
 
     def test_expired_deadline_cancels_with_deadline_error(self, tmp_path):
         manager = make_manager(Session(store_dir=tmp_path / "store"))
-        job, _ = manager.submit(scenario(), deadline=time.time() - 1.0)
+        # Deadlines are relative seconds-from-now; a non-positive budget is
+        # already expired (the journal-replay path submits these).
+        job, _ = manager.submit(scenario(), deadline=-1.0)
         assert job.deadline is not None
         manager.process_next()
         assert job.state == JOB_CANCELLED
         assert "deadline exceeded" in job.error
-        assert job.snapshot()["deadline"] == job.deadline
+        # The wire reports the wall-clock ETA, not the monotonic limit.
+        assert job.snapshot()["deadline"] == job.deadline_at
+        assert job.deadline_at is not None and job.deadline_at <= time.time()
 
     def test_deadline_is_never_retried(self, tmp_path):
         manager = make_manager(Session(store_dir=tmp_path / "store"))
-        job, _ = manager.submit(scenario(), deadline=time.time() - 1.0)
+        job, _ = manager.submit(scenario(), deadline=-1.0)
         manager.process_next()
         assert job.attempts == 1
         assert manager.lifetime_counts()["retried"] == 0

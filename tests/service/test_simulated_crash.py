@@ -1,0 +1,127 @@
+"""SimulatedCrash must *propagate* — the reason it is a BaseException.
+
+The chaos layer's worker-death fault only works if no recovery path can
+swallow it: not the job-execution retry loop, not the retry policy, not the
+HTTP handler's fault-to-500 mapping.  These are regression tests for the
+exception-hygiene invariants the lint rules (EXC001-003) enforce statically.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.session import Session
+from repro.service.jobs import JobManager
+from repro.service.reliability import (
+    FaultInjector,
+    RetryPolicy,
+    SimulatedCrash,
+    journal_for_store,
+)
+from repro.service.server import ReproServer
+
+
+def scenario(text: str = "one-fail-adaptive k=40 reps=2 seed=7") -> Scenario:
+    return Scenario.parse(text)
+
+
+class CrashingSession(Session):
+    """A session whose run() dies like a killed process."""
+
+    def run(self, *args, **kwargs):
+        raise SimulatedCrash("mid-run crash")
+
+
+class TestJobExecutionPath:
+    def test_crash_propagates_through_process_next(self, tmp_path):
+        """The retry loop's `except Exception` must not absorb the crash."""
+        session = CrashingSession(store_dir=tmp_path / "store")
+        manager = JobManager(
+            session,
+            start=False,
+            journal=journal_for_store(session.store),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+            retry_sleep=lambda _d: None,
+        )
+        job, disposition = manager.submit(scenario())
+        assert disposition == "queued"
+        with pytest.raises(SimulatedCrash):
+            manager.process_next()
+        # Crashed exactly like a killed worker: no retry, no terminal state,
+        # no journal mark — the entry stays pending for the next boot.
+        assert job.attempts == 1
+        assert job.state == "running"
+        assert manager.lifetime_counts()["retried"] == 0
+        assert [e.job_id for e in manager.journal.pending()] == [job.id]
+
+    def test_worker_crash_hook_propagates_after_success(self, tmp_path):
+        session = Session(store_dir=tmp_path / "store")
+        manager = JobManager(
+            session,
+            start=False,
+            journal=journal_for_store(session.store),
+            fault_injector=FaultInjector(rates={"worker-crash": 1.0}),
+        )
+        manager.submit(scenario())
+        with pytest.raises(SimulatedCrash):
+            manager.process_next()
+        # The results persisted before the crash; the journal entry did not
+        # get its mark, so replay re-submits and dedups to the store.
+        assert len(manager.journal.pending()) == 1
+
+    def test_retry_policy_call_does_not_swallow_crash(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        attempts = []
+
+        def crashes():
+            attempts.append(1)
+            raise SimulatedCrash("boom")
+
+        with pytest.raises(SimulatedCrash):
+            policy.call(crashes, sleep=lambda _d: None)
+        assert len(attempts) == 1  # never retried: a crash is not transient
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+class TestHttpHandlerPath:
+    @pytest.fixture
+    def crashing_server(self, tmp_path):
+        """A live server whose fault injector crashes every HTTP roll."""
+        session = Session(store_dir=tmp_path / "store")
+        jobs = JobManager(session, start=False)
+
+        class CrashInjector(FaultInjector):
+            def maybe_fail(self, kind, message=None):
+                if kind == "http-500":
+                    raise SimulatedCrash("handler crash")
+
+        server = ReproServer(
+            ("127.0.0.1", 0), session, jobs, quiet=True,
+            fault_injector=CrashInjector(),
+        )
+        server.start_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_crash_is_not_mapped_to_a_500(self, crashing_server):
+        """`_inject_http_fault` maps InjectedFault to a retryable 500; a
+        SimulatedCrash must instead kill the handler thread (the client sees
+        a dropped connection, exactly like a crashed server process)."""
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            with urllib.request.urlopen(
+                crashing_server.url + "/jobs", timeout=5
+            ) as response:
+                response.read()
+
+    def test_healthz_stays_alive(self, crashing_server):
+        """/healthz is exempt from HTTP chaos — it is how tests observe the
+        server — so it must answer even while other routes crash."""
+        with urllib.request.urlopen(
+            crashing_server.url + "/healthz", timeout=5
+        ) as response:
+            assert response.status == 200
