@@ -1,0 +1,127 @@
+"""Benchmark: observability overhead on the cached fast path.
+
+The observability layer (PR 9) promises to be effectively free: every metric
+mutation checks one module-level boolean first, and spans without a
+configured sink cost a ContextVar set/reset.  This benchmark times the
+hottest instrumented path — :meth:`~repro.scenarios.session.Session.run_cached`,
+the probe the service answers cached submissions from (store probe + load,
+zero new simulations) — with instrumentation enabled vs disabled.  Shared
+CI boxes make single timings noisy, so the estimator is the *median of
+paired ratios*: many short disabled/enabled chunk pairs back to back, each
+pair yielding one enabled/disabled ratio, with the median robust to
+scheduling spikes that hit one chunk.  The asserted bound: instrumented
+throughput within 5% of uninstrumented.  The artefact goes to
+``benchmark_results/BENCH_obs.json``.
+
+The smoke-marked subset checks semantics only (counters move when enabled,
+freeze when disabled) without timing assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR  # noqa: F401  (fixture home)
+from repro.obs import REGISTRY, configure_tracing, set_enabled
+from repro.scenarios import Scenario, Session
+
+#: Artifact name fixed by the acceptance criteria of the observability issue.
+ARTIFACT_NAME = "BENCH_obs.json"
+
+SPEC = "one-fail-adaptive k=64 reps=5 seed=2011"
+
+#: Cached run_cached() calls per timed chunk, and disabled/enabled pairs.
+CHUNK = 200
+PAIRS = 15
+
+#: The acceptance bound: instrumented throughput within 5% of uninstrumented.
+MAX_OVERHEAD = 0.05
+
+
+@pytest.fixture
+def warm_session(tmp_path):
+    """A session whose store already holds every replication of ``SPEC``."""
+    session = Session(store_dir=tmp_path / "store")
+    scenario = Scenario.parse(SPEC)
+    first = session.run(scenario)
+    assert first.new_runs == scenario.replications
+    configure_tracing(None)  # spans must be sink-less for the fast path
+    yield session, scenario
+    set_enabled(True)
+
+
+def _measure(session: Session, scenario: Scenario, requests: int) -> float:
+    started = time.perf_counter()
+    for _ in range(requests):
+        result = session.run_cached(scenario)
+        assert result is not None, "benchmark invariant: cache must serve"
+    return time.perf_counter() - started
+
+
+@pytest.mark.smoke
+def test_obs_toggle_semantics_smoke(warm_session):
+    """Counters move when enabled and freeze when disabled; cache still serves."""
+    session, scenario = warm_session
+
+    def hits() -> float:
+        family = REGISTRY.snapshot().get("repro_session_cache_lookups_total")
+        if family is None:
+            return 0.0
+        return float(family["series"].get('{result="hit"}', 0.0))
+
+    set_enabled(True)
+    before = hits()
+    assert session.run_cached(scenario).cached_runs == scenario.replications
+    assert hits() == before + 1
+    set_enabled(False)
+    assert session.run_cached(scenario).cached_runs == scenario.replications
+    assert hits() == before + 1, "disabled instrumentation must not record"
+    set_enabled(True)
+
+
+def test_obs_overhead_on_cached_path(warm_session, results_dir):
+    """Instrumented cached throughput within MAX_OVERHEAD of uninstrumented."""
+    session, scenario = warm_session
+    _measure(session, scenario, 2 * CHUNK)  # warm caches before timing
+    ratios: list[float] = []
+    enabled_total = disabled_total = 0.0
+    # Alternate which arm runs first within a pair: monotone drift across a
+    # pair (frequency scaling, cache warmth) would otherwise bias whichever
+    # arm consistently ran second.
+    for index in range(PAIRS):
+        arms = [False, True] if index % 2 == 0 else [True, False]
+        timed: dict[bool, float] = {}
+        for arm in arms:
+            set_enabled(arm)
+            timed[arm] = _measure(session, scenario, CHUNK)
+        ratios.append(timed[True] / timed[False])
+        disabled_total += timed[False]
+        enabled_total += timed[True]
+    enabled_rate = PAIRS * CHUNK / enabled_total
+    disabled_rate = PAIRS * CHUNK / disabled_total
+    overhead = statistics.median(ratios) - 1.0
+    artifact = {
+        "benchmark": "observability overhead, cached session fast path",
+        "scenario": SPEC,
+        "requests_per_chunk": CHUNK,
+        "pairs": PAIRS,
+        "enabled": {"seconds": enabled_total, "requests_per_sec": enabled_rate},
+        "disabled": {"seconds": disabled_total, "requests_per_sec": disabled_rate},
+        "overhead_fraction": overhead,
+        "ratio_spread": [min(ratios) - 1.0, max(ratios) - 1.0],
+        "max_overhead_fraction": MAX_OVERHEAD,
+    }
+    path = results_dir / ARTIFACT_NAME
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(
+        f"\nobs on: {enabled_rate:.0f} runs/s   off: {disabled_rate:.0f} runs/s   "
+        f"median overhead: {overhead:+.2%}   -> {path}"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:+.2%} exceeds {MAX_OVERHEAD:.0%} "
+        "on the cached fast path"
+    )

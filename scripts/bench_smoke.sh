@@ -102,6 +102,24 @@ else:
 SERVICE_SCENARIO="one-fail-adaptive(delta=2.72) k=128 reps=4 seed=2011"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro submit "$SERVICE_SCENARIO" \
     --url "$URL" --json > /dev/null
+
+# --- Metrics smoke -----------------------------------------------------------
+# While the server is mid-round-trip, GET /metrics must serve Prometheus text
+# covering each instrumented layer (http, jobs, session, store, engine).
+python -c "
+import urllib.request
+with urllib.request.urlopen('$URL/metrics', timeout=5) as response:
+    content_type = response.headers.get('Content-Type', '')
+    text = response.read().decode('utf-8')
+assert response.status == 200, f'GET /metrics returned {response.status}'
+assert 'version=0.0.4' in content_type, f'unexpected Content-Type {content_type!r}'
+for family in ('repro_http_requests_total', 'repro_jobs_submitted_total',
+               'repro_session_cache_lookups_total', 'repro_store_append_seconds',
+               'repro_engine_runs_total'):
+    assert '# TYPE ' + family in text, 'missing metric family ' + family
+print('metrics smoke ok: /metrics serves Prometheus text'
+      ' (%d lines, all layers covered)' % len(text.splitlines()))
+"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro submit "$SERVICE_SCENARIO" \
     --url "$URL" --json \
   | python -c '

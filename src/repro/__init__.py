@@ -99,7 +99,7 @@ from repro.scenarios import (
 )
 from repro.service import ServiceClient, ServiceError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

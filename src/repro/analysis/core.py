@@ -292,6 +292,7 @@ def _loaded() -> RuleRegistry:
     import repro.analysis.rules_concurrency  # noqa: F401
     import repro.analysis.rules_determinism  # noqa: F401
     import repro.analysis.rules_hygiene  # noqa: F401
+    import repro.analysis.rules_obs  # noqa: F401
     import repro.analysis.rules_registry  # noqa: F401
 
     return _REGISTRY

@@ -21,6 +21,9 @@ Subcommands:
   missing replications between any two backends (or a running service URL)
   via :func:`repro.scenarios.federation.sync`, and ``repro store compact
   <spec>`` reclaims space and removes lock litter;
+* ``trace``     — summarise a span trace log (:mod:`repro.obs`): per-stage
+  latency breakdown and the slowest traces, from the ``trace.jsonl`` the
+  service writes next to its store;
 * ``figure1``   — reproduce Figure 1 (delegates to
   :mod:`repro.experiments.figure1`);
 * ``table1``    — reproduce Table 1 (delegates to
@@ -43,8 +46,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.wire import JobStatus
 
 from repro.core.one_fail_adaptive import OneFailAdaptive
 from repro.engine.registry import available_engines
@@ -214,9 +221,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch=args.batch,
             quiet=args.quiet,
             max_queue=args.max_queue,
+            obs=args.obs,
         )
     except OSError as error:  # e.g. port already in use, privileged port
         return _scenario_error(error)
+
+
+def _submit_progress_printer() -> Callable[[JobStatus], None]:
+    """Progress callback for ``submit --wait``: one stderr line per change.
+
+    Lines go to stderr so stdout stays exactly the result table (or the
+    ``--json`` payload, which skips progress entirely).
+    """
+
+    def on_progress(status: JobStatus) -> None:
+        print(
+            f"repro: job {status.id}: {status.state} "
+            f"{status.done}/{status.total} replication(s)",
+            file=sys.stderr,
+        )
+
+    return on_progress
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -263,7 +288,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 print(format_text_table(["field", "value"], rows))
             return 0
         if not status.finished:
-            status = client.wait(status.id, timeout=args.timeout)
+            on_progress = None if args.json else _submit_progress_printer()
+            status = client.wait(status.id, timeout=args.timeout, on_progress=on_progress)
         if status.state == JOB_FAILED:
             print(f"repro: job {status.id} failed: {status.error}", file=sys.stderr)
             return 1
@@ -413,6 +439,59 @@ def _store_compact(targets: list[str], json_output: bool) -> int:
             f"{report.runs_evicted} run(s) evicted"
         )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, summarize_trace
+
+    path = Path(args.file)
+    if not path.is_file():
+        print(f"repro: error: trace log {path} does not exist", file=sys.stderr)
+        return 2
+    events = read_trace(path)
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not events:
+        print(f"trace {path}: no events on record")
+        return 0
+    print(f"trace {path}: {summary['events']} event(s) across {summary['traces']} trace(s)")
+    stage_rows = [
+        [
+            stage["stage"],
+            stage["count"],
+            f"{stage['total_s']:.4f}",
+            f"{stage['mean_s']:.4f}",
+            f"{stage['max_s']:.4f}",
+        ]
+        for stage in summary["stages"]
+    ]
+    print(format_text_table(["stage", "count", "total (s)", "mean (s)", "max (s)"], stage_rows))
+    if summary["slowest"]:
+        print()
+        print("slowest traces:")
+        slow_rows = [
+            [
+                entry["trace"],
+                entry["root"],
+                entry["spans"],
+                f"{entry['dur_s']:.4f}",
+                _format_attrs(entry.get("attrs", {})),
+            ]
+            for entry in summary["slowest"]
+        ]
+        print(
+            format_text_table(
+                ["trace", "root span", "spans", "duration (s)", "attrs"], slow_rows
+            )
+        )
+    return 0
+
+
+def _format_attrs(attrs: dict[str, object]) -> str:
+    """Render span attrs as a compact ``k=v`` list for the trace table."""
+    return " ".join(f"{key}={value}" for key, value in sorted(attrs.items())) or "-"
 
 
 def _cmd_protocols(_: argparse.Namespace) -> int:
@@ -589,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on accepted-but-unstarted jobs; a full queue answers "
         "503 + Retry-After instead of accepting unbounded work",
     )
+    serve.add_argument(
+        "--obs",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="metrics + span tracing (--no-obs freezes the counters "
+        "and writes no trace log; GET /metrics still answers)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = subparsers.add_parser(
@@ -655,6 +741,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument("--json", action="store_true", help="print machine-readable records")
     store.set_defaults(func=_cmd_store)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarise a span trace log (per-stage latency, slowest traces)",
+        description="Summarise the JSONL span trace log the service writes next to "
+        "its store (trace.jsonl for a JSONL store, <file>.db.trace.jsonl for "
+        "SQLite): per-stage latency breakdown sorted by total time, plus the "
+        "slowest traces by root-span duration.  Torn lines are skipped, so the "
+        "log of a live or crashed server reads fine.",
+    )
+    trace.add_argument("file", help="path to a trace JSONL file")
+    trace.add_argument("--json", action="store_true", help="print the machine-readable summary")
+    trace.set_defaults(func=_cmd_trace)
 
     protocols = subparsers.add_parser("protocols", help="list registered protocols")
     protocols.set_defaults(func=_cmd_protocols)

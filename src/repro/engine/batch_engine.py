@@ -45,10 +45,25 @@ from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
 from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
 from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY
 from repro.protocols.base import FairBatchState, FairProtocol, Protocol
 from repro.util.validation import check_positive_int
 
 __all__ = ["BatchFairEngine"]
+
+# Profiling hooks shared by the batched engines: loop iterations are counted
+# locally inside the kernels and published once per simulate_batch call, so
+# the hot loops carry no per-slot instrumentation cost.
+_M_KERNEL = REGISTRY.counter(
+    "repro_batch_kernel_iterations_total",
+    "Vectorised kernel loop iterations, by engine and loop kind.",
+    ("engine", "kind"),
+)
+_M_RETIRED = REGISTRY.counter(
+    "repro_batch_replications_retired_total",
+    "Replications retired from live batches, by engine.",
+    ("engine",),
+)
 
 
 @dataclass
@@ -231,9 +246,12 @@ class BatchFairEngine:
         live = _LiveBatch(k, len(seed_list), state)
         out = _BatchAccumulator.empty(len(seed_list))
         if protocol.probability_constant_between_receptions:
-            self._run_skipping(live, out, cap, rng)
+            iterations = self._run_skipping(live, out, cap, rng)
+            _M_KERNEL.labels(engine=self.name, kind="skip").inc(iterations)
         else:
-            self._run_lockstep(live, out, cap, rng)
+            iterations = self._run_lockstep(live, out, cap, rng)
+            _M_KERNEL.labels(engine=self.name, kind="lockstep").inc(iterations)
+        _M_RETIRED.labels(engine=self.name).inc(len(seed_list))
 
         return [
             SimulationResult(
@@ -259,8 +277,11 @@ class BatchFairEngine:
         out: _BatchAccumulator,
         cap: int,
         rng: np.random.Generator,
-    ) -> None:
-        """Slot-by-slot lockstep: every live replication shares the slot index."""
+    ) -> int:
+        """Slot-by-slot lockstep: every live replication shares the slot index.
+
+        Returns the number of loop iterations (vectorised slots stepped).
+        """
         slot = 0
         while live.size:
             if slot >= cap:
@@ -283,6 +304,7 @@ class BatchFairEngine:
             finished = live.remaining == 0
             if finished.any():
                 live.retire(finished, out, solved=True)
+        return slot
 
     def _run_skipping(
         self,
@@ -290,15 +312,18 @@ class BatchFairEngine:
         out: _BatchAccumulator,
         cap: int,
         rng: np.random.Generator,
-    ) -> None:
+    ) -> int:
         """Event-by-event loop for slot-independent probabilities.
 
         Each iteration advances every live replication past one silent stretch
         (sampled geometrically) to its next non-silent slot and resolves that
         slot as a success or collision.  Replications may sit at different
         slot indices; the contract flag guarantees that is unobservable.
+        Returns the number of loop iterations (events resolved).
         """
+        events = 0
         while live.size:
+            events += 1
             p = live.state.probabilities(-1)
             probability_success, probability_silence = _outcome_probabilities(p, live.remaining)
 
@@ -352,3 +377,4 @@ class BatchFairEngine:
             capped = live.slots >= cap
             if capped.any():
                 live.retire(capped, out, solved=False)
+        return events

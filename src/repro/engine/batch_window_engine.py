@@ -66,10 +66,21 @@ from repro.channel.model import ChannelModel
 from repro.channel.trace import ExecutionTrace
 from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
 from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY
 from repro.protocols.base import Protocol, WindowedProtocol
 from repro.util.validation import check_positive_int
 
 __all__ = ["BatchWindowEngine"]
+
+#: Which sampler produced each window's occupancy: ``saturated`` windows are
+#: emitted without any draws, ``multinomial`` rows are sampled bin-wise, and
+#: ``ball-throw`` windows materialise every ball.  One increment per window
+#: (or per row chunk), never per slot — zero-cost when recording is disabled.
+_M_OCCUPANCY = REGISTRY.counter(
+    "repro_batch_window_occupancy_total",
+    "Occupancy-sampling decisions in the windowed batch engine, by mode.",
+    ("mode",),
+)
 
 #: Threshold under which a window is all-collisions "for sure": a window is
 #: *saturated* when the exact union bound ``P(any bin holds <= 1 ball) <=
@@ -321,7 +332,9 @@ class BatchWindowEngine:
         """
         live = remaining.size
         if length * _MULTINOMIAL_RATIO < int(remaining.mean()):
+            _M_OCCUPANCY.labels(mode="multinomial").inc()
             return rng.multinomial(remaining, np.full(length, 1.0 / length))
+        _M_OCCUPANCY.labels(mode="ball-throw").inc()
         if length <= np.iinfo(np.uint16).max:
             dtype = np.uint16
         elif length <= np.iinfo(np.uint32).max:
@@ -423,6 +436,7 @@ class BatchWindowEngine:
                 # of anything else is below double-precision resolution), so
                 # every slot is a collision, nothing is delivered, and no
                 # replication can finish.
+                _M_OCCUPANCY.labels(mode="saturated").inc()
                 live.collisions += length
                 live.windows += 1
                 window_start += length

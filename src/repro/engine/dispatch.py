@@ -42,6 +42,7 @@ from repro.engine.registry import (
 from repro.engine.result import SimulationResult
 from repro.engine.slot_engine import SlotEngine  # noqa: F401
 from repro.engine.window_engine import WindowEngine  # noqa: F401
+from repro.obs import REGISTRY, span
 from repro.protocols.base import Protocol
 
 __all__ = [
@@ -52,6 +53,22 @@ __all__ = [
     "simulate",
     "simulate_batch",
 ]
+
+
+# Engine-layer metric families, fed at this front door: every session /
+# sweep / service execution funnels through simulate() or simulate_batch(),
+# so counting here covers all engines without per-slot hooks.
+_M_RUNS = REGISTRY.counter(
+    "repro_engine_runs_total", "Simulation runs completed, by engine.", ("engine",)
+)
+_M_SLOTS = REGISTRY.counter(
+    "repro_engine_slots_total", "Channel slots simulated, by engine.", ("engine",)
+)
+_M_BATCHES = REGISTRY.counter(
+    "repro_engine_batches_total",
+    "Vectorised simulate_batch kernel calls, by engine.",
+    ("engine",),
+)
 
 
 def _instantiate(name: str, channel: ChannelModel | None):
@@ -127,11 +144,17 @@ def simulate(
             f"{arrivals.total_messages} messages; pass k=arrivals.total_messages"
         )
     chosen = pick_engine(protocol, engine=engine, channel=channel, arrivals=arrivals)
-    if arrivals is not None:
-        return chosen.simulate(
-            protocol, k, seed=seed, max_slots=max_slots, trace=trace, arrivals=arrivals
-        )
-    return chosen.simulate(protocol, k, seed=seed, max_slots=max_slots, trace=trace)
+    with span("engine.run", k=k) as run_span:
+        if arrivals is not None:
+            result = chosen.simulate(
+                protocol, k, seed=seed, max_slots=max_slots, trace=trace, arrivals=arrivals
+            )
+        else:
+            result = chosen.simulate(protocol, k, seed=seed, max_slots=max_slots, trace=trace)
+        run_span["engine"] = result.engine
+    _M_RUNS.labels(engine=result.engine).inc()
+    _M_SLOTS.labels(engine=result.engine).inc(result.slots_simulated)
+    return result
 
 
 def simulate_batch(
@@ -171,4 +194,9 @@ def simulate_batch(
             "make_window_batch_state and run on the paper's channel"
         )
     chosen = _instantiate(name, channel)
-    return chosen.simulate_batch(protocol, k, seeds, max_slots=max_slots)
+    with span("engine.batch", engine=name, k=k, replications=len(seeds)):
+        results = chosen.simulate_batch(protocol, k, seeds, max_slots=max_slots)
+    _M_BATCHES.labels(engine=name).inc()
+    _M_RUNS.labels(engine=name).inc(len(results))
+    _M_SLOTS.labels(engine=name).inc(sum(result.slots_simulated for result in results))
+    return results

@@ -102,7 +102,7 @@ def reproduce_figure1(
 
     def progress_callback(spec: ProtocolSpec, k: int, done: int, total: int) -> None:
         if done == total:
-            print(f"[figure1] {spec.label}: k={k} ({total} runs done)", file=sys.stderr)
+            print(f"[figure1] {spec.label}: k={k} ({total} runs done)", file=sys.stderr)  # repro: noqa[OBS001] - experiment stdout is the artefact
 
     sweep = run_sweep(
         specs,
@@ -160,18 +160,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     figure = reproduce_figure1(config=config, progress=not args.quiet, store_dir=args.store)
 
-    print("Figure 1 — number of steps to solve static k-selection, per number of nodes k")
-    print()
-    print(figure.render_table())
-    print()
-    print(figure.render_plot())
+    print("Figure 1 — number of steps to solve static k-selection, per number of nodes k")  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print(figure.render_table())  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print(figure.render_plot())  # repro: noqa[OBS001] - experiment stdout is the artefact
 
     if args.output_dir is not None:
         csv_path = write_sweep_csv(figure.sweep, args.output_dir / "figure1_runs.csv")
         dat_paths = write_series_dat(figure.sweep, args.output_dir / "figure1_series")
         json_path = write_json(figure.sweep, args.output_dir / "figure1_summary.json")
-        print()
-        print(f"wrote {csv_path}, {json_path} and {len(dat_paths)} gnuplot series files")
+        print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+        print(f"wrote {csv_path}, {json_path} and {len(dat_paths)} gnuplot series files")  # repro: noqa[OBS001] - experiment stdout is the artefact
     return 0
 
 

@@ -134,7 +134,7 @@ def reproduce_table1(
 
     def progress_callback(spec: ProtocolSpec, k: int, done: int, total: int) -> None:
         if done == total:
-            print(f"[table1] {spec.label}: k={k} ({total} runs done)", file=sys.stderr)
+            print(f"[table1] {spec.label}: k={k} ({total} runs done)", file=sys.stderr)  # repro: noqa[OBS001] - experiment stdout is the artefact
 
     sweep = run_sweep(
         specs,
@@ -190,13 +190,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     table = reproduce_table1(config=config, progress=not args.quiet, store_dir=args.store)
 
-    print("Table 1 — ratio steps/nodes as a function of the number of nodes k (measured)")
-    print()
-    print(table.render())
-    print()
-    print("Measured vs paper:")
-    print()
-    print(table.render_comparison())
+    print("Table 1 — ratio steps/nodes as a function of the number of nodes k (measured)")  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print(table.render())  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print("Measured vs paper:")  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+    print(table.render_comparison())  # repro: noqa[OBS001] - experiment stdout is the artefact
 
     if args.output_dir is not None:
         headers, body = table.rows()
@@ -205,8 +205,8 @@ def main(argv: list[str] | None = None) -> int:
         write_markdown(headers, body, args.output_dir / "table1_comparison.md")
         write_sweep_csv(table.sweep, args.output_dir / "table1_runs.csv")
         write_json(table.sweep, args.output_dir / "table1_summary.json")
-        print()
-        print(f"wrote artefacts to {args.output_dir}")
+        print()  # repro: noqa[OBS001] - experiment stdout is the artefact
+        print(f"wrote artefacts to {args.output_dir}")  # repro: noqa[OBS001] - experiment stdout is the artefact
     return 0
 
 

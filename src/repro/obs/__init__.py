@@ -1,0 +1,75 @@
+"""Observability: metrics registry, span tracing, structured logging.
+
+Three small, stdlib-only pieces shared by every layer of the repo:
+
+* :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram families
+  with label sets in a process-wide :data:`REGISTRY`, snapshot-to-dict and
+  deterministic Prometheus text exposition (``GET /metrics``).
+* :mod:`repro.obs.tracing` — ``span(name, **attrs)`` context managers whose
+  trace/span ids follow a request from HTTP handler through job queue,
+  session plan, engine run and store append, exported as torn-line-tolerant
+  JSONL next to the job journal.
+* :mod:`repro.obs.logs` — JSON log lines that carry the current trace id.
+
+Instrumentation is on by default and cheap; ``repro serve --no-obs`` (or
+:func:`set_enabled` / ``configure_tracing(None)``) turns recording off, at
+which point every hook reduces to one boolean or ContextVar check —
+``benchmarks/bench_obs.py`` holds the cached fast path within 5% either way.
+Metrics are per-process: the service's default in-process execution
+aggregates everything in the server, while process-pool sweep workers only
+report what runs in the parent.
+"""
+
+from __future__ import annotations
+
+from repro.obs.logs import JsonFormatter, configure_json_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    enabled,
+    set_enabled,
+)
+from repro.obs.tracing import (
+    SpanEvent,
+    TraceLog,
+    configure_tracing,
+    current_span_id,
+    current_trace_id,
+    new_trace_id,
+    read_trace,
+    span,
+    summarize_trace,
+    trace_context,
+    trace_log_for_store,
+    tracing_sink,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SpanEvent",
+    "TraceLog",
+    "configure_json_logging",
+    "configure_tracing",
+    "current_span_id",
+    "current_trace_id",
+    "enabled",
+    "get_logger",
+    "new_trace_id",
+    "read_trace",
+    "set_enabled",
+    "span",
+    "summarize_trace",
+    "trace_context",
+    "trace_log_for_store",
+    "tracing_sink",
+]

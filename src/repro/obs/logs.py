@@ -1,0 +1,77 @@
+"""Structured JSON logging that carries the current trace id.
+
+``get_logger`` hands out ordinary stdlib loggers under the ``repro`` root;
+``configure_json_logging`` (called by ``repro serve``) attaches a handler
+whose formatter emits one JSON object per line — timestamp, level, logger,
+message, plus the current trace id when the log call happens inside a span
+or :func:`~repro.obs.tracing.trace_context`.  Library modules log
+unconditionally and cheaply: with no handler configured the stdlib drops
+records at the root, so importing this module costs nothing to callers that
+never serve.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.obs.tracing import current_trace_id
+
+__all__ = ["JsonFormatter", "configure_json_logging", "get_logger"]
+
+_ROOT = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as compact single-line JSON with trace correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace = getattr(record, "trace", None) or current_trace_id()
+        if trace:
+            payload["trace"] = trace
+        extra = getattr(record, "fields", None)
+        if isinstance(extra, dict):
+            payload.update(extra)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+    def formatTime(self, record: logging.LogRecord, datefmt: str | None = None) -> str:
+        return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("service")``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach a JSON-formatting handler to the ``repro`` logger root.
+
+    Idempotent: an existing JSON handler on the root is replaced rather than
+    stacked, so re-serving in one process does not duplicate output lines.
+    """
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root

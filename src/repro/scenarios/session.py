@@ -48,6 +48,7 @@ from pathlib import Path
 
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY, span
 from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import StoreBackend, StoredRun, open_store
@@ -70,6 +71,28 @@ __all__ = ["ResultSet", "Session", "SessionProgress"]
 #: *before* its progress callback fired — so an aborted cell resumes from
 #: the completed prefix on the next run instead of re-simulating it.
 SessionProgress = Callable[[int, Scenario, int, int], None]
+
+_M_CACHE = REGISTRY.counter(
+    "repro_session_cache_lookups_total",
+    "run_cached fast-path probes, by outcome.",
+    ("result",),
+)
+_M_REPLICATIONS = REGISTRY.counter(
+    "repro_session_replications_total",
+    "Replications delivered by session calls, by source (cached vs fresh).",
+    ("source",),
+)
+_M_CELLS = REGISTRY.counter(
+    "repro_session_cells_total",
+    "Scenario cells planned, by execution mode (one vectorised batch unit "
+    "vs per-replication units).",
+    ("mode",),
+)
+# Children resolved once — the cache probe is the service's hottest path.
+_M_CACHE_HIT = _M_CACHE.labels(result="hit")
+_M_CACHE_MISS = _M_CACHE.labels(result="miss")
+_M_REPL_CACHED = _M_REPLICATIONS.labels(source="cached")
+_M_REPL_FRESH = _M_REPLICATIONS.labels(source="fresh")
 
 
 @dataclass(frozen=True)
@@ -243,10 +266,14 @@ class Session:
             # Upper bound on usable replications: short-circuits misses
             # without deserialising any results.
             if self.store.cached_count(scenario) < scenario.replications:
+                _M_CACHE_MISS.inc()
                 return None
         usable = self._usable_cached(scenario, self._plan(scenario))
         if len(usable) != scenario.replications:
+            _M_CACHE_MISS.inc()
             return None
+        _M_CACHE_HIT.inc()
+        _M_REPL_CACHED.inc(len(usable))
         ordered = [usable[replication] for replication in range(scenario.replications)]
         return ResultSet(
             scenario=scenario,
@@ -302,29 +329,33 @@ class Session:
         """
         if not scenarios:
             return []
-        hashes = [scenario.content_hash() for scenario in scenarios]
-        all_seeds = [scenario.seeds() for scenario in scenarios]
-        plans = [self._plan(scenario) for scenario in scenarios]
-        cached = [
-            self._usable_cached(scenario, plan) for scenario, plan in zip(scenarios, plans)
-        ]
-
-        units: list[SimulationUnit] = []
-        done_count = [0] * len(scenarios)
-        for index, scenario in enumerate(scenarios):
-            missing = [
-                replication
-                for replication in range(scenario.replications)
-                if replication not in cached[index]
+        with span("session.plan", scenarios=len(scenarios)) as plan_span:
+            hashes = [scenario.content_hash() for scenario in scenarios]
+            all_seeds = [scenario.seeds() for scenario in scenarios]
+            plans = [self._plan(scenario) for scenario in scenarios]
+            cached = [
+                self._usable_cached(scenario, plan) for scenario, plan in zip(scenarios, plans)
             ]
-            done_count[index] = scenario.replications - len(missing)
-            if progress is not None:
-                for step in range(done_count[index]):
-                    progress(index, scenario, step + 1, scenario.replications)
-            if missing:
-                units.extend(
-                    self._plan_units(index, scenario, plans[index], all_seeds[index], missing)
-                )
+
+            units: list[SimulationUnit] = []
+            done_count = [0] * len(scenarios)
+            for index, scenario in enumerate(scenarios):
+                missing = [
+                    replication
+                    for replication in range(scenario.replications)
+                    if replication not in cached[index]
+                ]
+                done_count[index] = scenario.replications - len(missing)
+                if progress is not None:
+                    for step in range(done_count[index]):
+                        progress(index, scenario, step + 1, scenario.replications)
+                if missing:
+                    units.extend(
+                        self._plan_units(index, scenario, plans[index], all_seeds[index], missing)
+                    )
+            plan_span["units"] = len(units)
+            plan_span["cached_replications"] = sum(done_count)
+        _M_REPL_CACHED.inc(sum(done_count))
 
         # Outcomes are persisted as they complete (not after the whole
         # fan-out), so a sweep killed mid-run keeps every finished unit on
@@ -345,8 +376,9 @@ class Session:
             ]
             for run in runs:
                 fresh[index][run.replication] = run
+            _M_REPL_FRESH.inc(len(runs))
             if self.store is not None:
-                with self._store_lock:
+                with span("store.append", runs=len(runs)), self._store_lock:
                     self.store.append(scenarios[index], runs)
             if progress is not None:
                 for _ in runs:
@@ -461,6 +493,7 @@ class Session:
         outcomes can be routed back and persisted per replication.
         """
         if plan.use_batch:
+            _M_CELLS.labels(mode="batch").inc()
             return [
                 SimulationUnit(
                     protocol=plan.protocol,
@@ -471,6 +504,7 @@ class Session:
                     seeds=tuple(seeds[replication] for replication in missing),
                 )
             ]
+        _M_CELLS.labels(mode="per-run").inc()
         return [
             SimulationUnit(
                 protocol=plan.protocol,

@@ -71,6 +71,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
@@ -84,6 +85,7 @@ except ImportError:  # pragma: no cover - Windows fallback
     fcntl = None  # type: ignore[assignment]
 
 from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY
 from repro.scenarios.scenario import Scenario
 
 __all__ = [
@@ -107,6 +109,17 @@ _HASH_RE = re.compile(r"[0-9a-f]{16}")
 
 #: Parsed JSONL cells kept per :class:`JsonlStore` instance (LRU, by hash).
 _JSONL_CACHE_ENTRIES = 128
+
+# Store-layer metric families, labelled by backend name so JSONL and SQLite
+# latencies land side by side in one ``/metrics`` scrape.
+_M_APPEND = REGISTRY.histogram(
+    "repro_store_append_seconds", "Store append latency, by backend.", ("backend",)
+)
+_M_PROBE = REGISTRY.histogram(
+    "repro_store_probe_seconds",
+    "cached_count probe latency, by backend.",
+    ("backend",),
+)
 
 
 @dataclass(frozen=True)
@@ -418,6 +431,10 @@ class JsonlStore(StoreBackend):
             OrderedDict()
         )
         self._cache_lock = threading.Lock()
+        # Label children resolved once: the probe sits on the cached fast
+        # path, where per-call labels() lookups are measurable.
+        self._m_append = _M_APPEND.labels(backend=self.name)
+        self._m_probe = _M_PROBE.labels(backend=self.name)
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.content_hash()}.jsonl"
@@ -508,6 +525,13 @@ class JsonlStore(StoreBackend):
         costs one ``stat`` — not a file parse plus an O(replications) seed
         derivation.
         """
+        started = time.monotonic()
+        try:
+            return self._cached_count_inner(scenario)
+        finally:
+            self._m_probe.observe(time.monotonic() - started)
+
+    def _cached_count_inner(self, scenario: Scenario) -> int:
         key = (scenario.content_hash(), scenario.replications)
         path = self.path_for(scenario)
         try:
@@ -558,6 +582,7 @@ class JsonlStore(StoreBackend):
         """
         if not runs:
             return
+        started = time.monotonic()
         path = self.path_for(scenario)
         with self._locked(path):
             lines = []
@@ -585,6 +610,7 @@ class JsonlStore(StoreBackend):
             self._cache.pop(content_hash, None)
             for key in [k for k in self._count_cache if k[0] == content_hash]:
                 del self._count_cache[key]
+        self._m_append.observe(time.monotonic() - started)
 
     # ------------------------------------------------------------- listings
     def scenarios_on_record(self) -> list[Scenario]:

@@ -33,6 +33,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import (
     _HASH_RE,
@@ -45,6 +46,22 @@ from repro.scenarios.store import (
 )
 
 __all__ = ["SqliteStore"]
+
+# Shared store-layer families (same names as the JSONL backend's; the
+# registry get-or-creates, so whichever module imports first wins).
+_M_APPEND = REGISTRY.histogram(
+    "repro_store_append_seconds", "Store append latency, by backend.", ("backend",)
+)
+_M_PROBE = REGISTRY.histogram(
+    "repro_store_probe_seconds",
+    "cached_count probe latency, by backend.",
+    ("backend",),
+)
+_M_EVICTIONS = REGISTRY.counter(
+    "repro_store_evictions_total",
+    "Run rows evicted by retention policies, by backend.",
+    ("backend",),
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS scenarios (
@@ -219,19 +236,23 @@ class SqliteStore(StoreBackend):
         probe does not re-derive seeds, so a hand-corrupted row may be
         over-counted; ``load`` remains the authority on servable runs.
         """
-        row = self._connection().execute(
-            "SELECT run_count, max_replication FROM scenarios WHERE hash = ?",
-            (scenario.content_hash(),),
-        ).fetchone()
-        if row is None:
-            return 0
-        run_count, max_replication = row
-        if max_replication < scenario.replications:
-            return run_count
-        return self._connection().execute(
-            "SELECT COUNT(*) FROM runs WHERE hash = ? AND replication < ?",
-            (scenario.content_hash(), scenario.replications),
-        ).fetchone()[0]
+        started = time.monotonic()
+        try:
+            row = self._connection().execute(
+                "SELECT run_count, max_replication FROM scenarios WHERE hash = ?",
+                (scenario.content_hash(),),
+            ).fetchone()
+            if row is None:
+                return 0
+            run_count, max_replication = row
+            if max_replication < scenario.replications:
+                return run_count
+            return self._connection().execute(
+                "SELECT COUNT(*) FROM runs WHERE hash = ? AND replication < ?",
+                (scenario.content_hash(), scenario.replications),
+            ).fetchone()[0]
+        finally:
+            _M_PROBE.labels(backend=self.name).observe(time.monotonic() - started)
 
     def scenarios_on_record(self) -> list[Scenario]:
         rows = self._connection().execute(
@@ -259,6 +280,7 @@ class SqliteStore(StoreBackend):
         """One ``BEGIN IMMEDIATE`` transaction: rows, counters, eviction."""
         if not runs:
             return
+        started = time.monotonic()
         content_hash = scenario.content_hash()
         now = time.time()  # repro: noqa[CLK001] - persisted updated_at metadata
         connection = self._connection()
@@ -295,6 +317,7 @@ class SqliteStore(StoreBackend):
         except BaseException:
             connection.execute("ROLLBACK")
             raise
+        _M_APPEND.labels(backend=self.name).observe(time.monotonic() - started)
 
     @staticmethod
     def _refresh_counters(
@@ -348,6 +371,8 @@ class SqliteStore(StoreBackend):
                 evicted += cursor.rowcount
                 self._refresh_counters(connection, victim[0], now)
         connection.execute("DELETE FROM scenarios WHERE run_count = 0")
+        if evicted:
+            _M_EVICTIONS.labels(backend=self.name).inc(evicted)
         return evicted
 
     # ----------------------------------------------------------- janitorial

@@ -40,7 +40,7 @@ from repro.service.reliability import RetryPolicy, TransientError
 from repro.service.wire import JOB_DONE, JobStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from collections.abc import Sequence
+    from collections.abc import Callable, Sequence
 
     from repro.scenarios.store import StoredRun
 
@@ -237,6 +237,7 @@ class ServiceClient:
         timeout: float | None = 300.0,
         poll_interval: float = 0.05,
         max_poll_interval: float = 2.0,
+        on_progress: "Callable[[JobStatus], None] | None" = None,
     ) -> JobStatus:
         """Poll until the job finishes; raises :class:`ServiceError` on timeout.
 
@@ -248,10 +249,17 @@ class ServiceClient:
         of requests per second-of-runtime, not hundreds.  Transient poll
         failures (server restarting, connection reset) are tolerated until
         the overall timeout.
+
+        ``on_progress`` (if given) is called with each :class:`JobStatus`
+        whose ``(state, done)`` differ from the previously observed poll —
+        including the final, finished status — so callers can render
+        per-replication progress without re-polling themselves.  Callback
+        exceptions propagate to the caller.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         interval = max(poll_interval, 0.001)
         last_error: ServiceError | None = None
+        last_progress: tuple[str, int] | None = None
         while True:
             try:
                 status = self.job(job_id)
@@ -260,6 +268,11 @@ class ServiceClient:
                 status = None
             else:
                 last_error = None
+                if on_progress is not None:
+                    progress = (status.state, status.done)
+                    if progress != last_progress:
+                        last_progress = progress
+                        on_progress(status)
                 if status.finished:
                     return status
             if deadline is not None and time.monotonic() >= deadline:

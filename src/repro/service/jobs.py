@@ -57,6 +57,7 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.obs import REGISTRY, current_trace_id, new_trace_id, span, trace_context
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.session import ResultSet, Session
 from repro.service.reliability import (
@@ -91,6 +92,42 @@ _TOTAL_KEYS = (
     "replayed",
 )
 
+# Metric families for the job layer (see README § Observability).  Created
+# once at import; label-set children materialise on first use.
+_M_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total",
+    "Accepted job submissions by disposition (cached/deduplicated/queued).",
+    ("disposition",),
+)
+_M_FINISHED = REGISTRY.counter(
+    "repro_jobs_finished_total",
+    "Jobs reaching a terminal state, by state.",
+    ("state",),
+)
+_M_REJECTED = REGISTRY.counter(
+    "repro_jobs_rejected_total",
+    "Submissions rejected with Overloaded (queue full or draining).",
+)
+_M_RETRIED = REGISTRY.counter(
+    "repro_jobs_retries_total", "Job attempts retried after a transient failure."
+)
+_M_DEADLINE = REGISTRY.counter(
+    "repro_jobs_deadline_exceeded_total", "Jobs cancelled by their deadline."
+)
+_M_REPLAYED = REGISTRY.counter(
+    "repro_jobs_replayed_total", "Journal entries replayed at boot."
+)
+_M_QUEUE_WAIT = REGISTRY.histogram(
+    "repro_job_queue_wait_seconds",
+    "Time a job spent queued before its first attempt started.",
+)
+_M_RUN = REGISTRY.histogram(
+    "repro_job_run_seconds", "Job execution wall time across all attempts."
+)
+_M_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_job_queue_depth", "Jobs accepted but not yet started."
+)
+
 
 @dataclass
 class Job:
@@ -112,6 +149,8 @@ class Job:
     deadline: float | None = None  #: absolute monotonic limit (time.monotonic())
     deadline_at: float | None = None  #: wall-clock ETA of the deadline (wire/journal)
     attempts: int = 0
+    trace_id: str | None = None  #: adopted by the worker thread for span continuity
+    queued_at: float | None = None  #: monotonic enqueue time (queue-wait histogram)
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -239,6 +278,9 @@ class JobManager:
         self._totals: dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
         self._last_failure: dict[str, object] | None = None
         self._threads: list[threading.Thread] = []
+        # Live queue depth, sourced at scrape time; the most recently built
+        # manager owns the gauge (one manager per server process).
+        _M_QUEUE_DEPTH.set_function(self.queue_depth)
         if start:
             for index in range(workers):
                 thread = threading.Thread(
@@ -268,6 +310,7 @@ class JobManager:
             existing = self._dedup_target(content_hash, scenario)
             if existing is not None:
                 self._totals["submitted"] += 1
+                _M_SUBMITTED.labels(disposition="deduplicated").inc()
                 return existing, "deduplicated"
         # The cache probe reads the store, so it runs outside the lock; on a
         # hit it *is* the answer (one store read, zero simulations).  A store
@@ -282,27 +325,33 @@ class JobManager:
             with self._lock:
                 self._totals["submitted"] += 1
                 job = self._register(scenario, content_hash, inflight=False)
+                job.trace_id = current_trace_id()
                 job.started_at = job.finished_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
                 job.result_set = cached_result
                 job.done = job.total
                 job.cached = True
                 job.state = JOB_DONE
             self._mark_finished(job)
+            _M_SUBMITTED.labels(disposition="cached").inc()
             return job, "cached"
         with self._lock:
             self._check_accepting()
             existing = self._dedup_target(content_hash, scenario)
             if existing is not None:
                 self._totals["submitted"] += 1
+                _M_SUBMITTED.labels(disposition="deduplicated").inc()
                 return existing, "deduplicated"
             if self.max_queue is not None and len(self._queue) >= self.max_queue:
                 self._totals["rejected"] += 1
+                _M_REJECTED.inc()
                 raise Overloaded(
                     f"job queue is full ({len(self._queue)} queued, "
                     f"limit {self.max_queue})",
                     retry_after=self._retry_after_hint(),
                 )
             job = self._register(scenario, content_hash, inflight=True)
+            job.trace_id = current_trace_id() or new_trace_id()
+            job.queued_at = time.monotonic()
             if deadline is not None:
                 job.deadline = time.monotonic() + deadline
                 job.deadline_at = time.time() + deadline  # repro: noqa[CLK001] - wall-clock ETA for the wire/journal
@@ -319,12 +368,14 @@ class JobManager:
             self._totals["submitted"] += 1
             self._queue.append(job)
             self._work_available.notify()
+        _M_SUBMITTED.labels(disposition="queued").inc()
         return job, "queued"
 
     def _check_accepting(self) -> None:
         """Reject during drain; the manager lock must be held."""
         if not self._accepting:
             self._totals["rejected"] += 1
+            _M_REJECTED.inc()
             raise Overloaded("server is draining", retry_after=5.0)
 
     def _retry_after_hint(self) -> float:
@@ -474,6 +525,9 @@ class JobManager:
         """
         job.state = JOB_RUNNING
         job.started_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
+        if job.queued_at is not None:
+            _M_QUEUE_WAIT.observe(time.monotonic() - job.queued_at)
+        run_started = time.monotonic()
 
         def progress(_index: int, _scenario: Scenario, done: int, _total: int) -> None:
             job.done = done
@@ -483,43 +537,55 @@ class JobManager:
             self._check_abort(job)
 
         policy = self.retry_policy
-        while True:
-            job.attempts += 1
-            try:
-                self._check_abort(job)
-                job.result_set = self.session.run(job.scenario, progress=progress)
-            except JobCancelled as error:
-                job.state = JOB_CANCELLED
-                job.error = str(error)
-                break
-            except Exception as error:  # noqa: BLE001 - a failed job must not kill its worker (SimulatedCrash is a BaseException, so it still propagates)
-                if (
-                    policy is not None
-                    and job.attempts < policy.max_attempts
-                    and policy.is_retryable(error)
-                    and not job.cancel_requested.is_set()
-                ):
-                    with self._lock:
-                        self._totals["retried"] += 1
-                    log.info(
-                        "job %s attempt %d failed (%s: %s); retrying",
-                        job.id, job.attempts, type(error).__name__, error,
-                    )
-                    self._retry_sleep(policy.delay(job.attempts, self._retry_rng))
-                    continue
-                job.state = JOB_FAILED
-                job.error = f"{type(error).__name__}: {error}"
-                self._note_failure(job.id, job.error)
-                break
-            else:
-                # Chaos hook: a worker-crash roll fires *after* the results
-                # are persisted but *before* the journal mark — the exact
-                # window journal replay exists to cover.
-                if self.fault_injector is not None:
-                    self.fault_injector.maybe_crash("worker-crash")
-                job.state = JOB_DONE
-                job.done = job.total
-                break
+        with trace_context(job.trace_id), span(
+            "job.run", job=job.id, hash=job.content_hash
+        ) as job_span:
+            while True:
+                job.attempts += 1
+                try:
+                    self._check_abort(job)
+                    with span("job.attempt", attempt=job.attempts):
+                        job.result_set = self.session.run(
+                            job.scenario, progress=progress
+                        )
+                except JobCancelled as error:
+                    job.state = JOB_CANCELLED
+                    job.error = str(error)
+                    if isinstance(error, DeadlineExceeded):
+                        _M_DEADLINE.inc()
+                    break
+                except Exception as error:  # noqa: BLE001 - a failed job must not kill its worker (SimulatedCrash is a BaseException, so it still propagates)
+                    if (
+                        policy is not None
+                        and job.attempts < policy.max_attempts
+                        and policy.is_retryable(error)
+                        and not job.cancel_requested.is_set()
+                    ):
+                        with self._lock:
+                            self._totals["retried"] += 1
+                        _M_RETRIED.inc()
+                        log.info(
+                            "job %s attempt %d failed (%s: %s); retrying",
+                            job.id, job.attempts, type(error).__name__, error,
+                        )
+                        self._retry_sleep(policy.delay(job.attempts, self._retry_rng))
+                        continue
+                    job.state = JOB_FAILED
+                    job.error = f"{type(error).__name__}: {error}"
+                    self._note_failure(job.id, job.error)
+                    break
+                else:
+                    # Chaos hook: a worker-crash roll fires *after* the results
+                    # are persisted but *before* the journal mark — the exact
+                    # window journal replay exists to cover.
+                    if self.fault_injector is not None:
+                        self.fault_injector.maybe_crash("worker-crash")
+                    job.state = JOB_DONE
+                    job.done = job.total
+                    break
+            job_span["state"] = job.state
+            job_span["attempts"] = job.attempts
+        _M_RUN.observe(time.monotonic() - run_started)
         job.finished_at = time.time()  # repro: noqa[CLK001] - wall-clock metadata
         with self._lock:
             if self._inflight.get(job.content_hash) is job:
@@ -541,6 +607,7 @@ class JobManager:
         with self._lock:
             if job.state in TERMINAL_STATES:
                 self._totals[job.state] += 1
+                _M_FINISHED.labels(state=job.state).inc()
             self._finished_order.append(job.id)
             while len(self._finished_order) > self.max_finished:
                 evicted = self._finished_order.popleft()
@@ -619,6 +686,7 @@ class JobManager:
                 self.journal.record_entry(entry)
                 continue
             replayed += 1
+            _M_REPLAYED.inc()
             with self._lock:
                 self._totals["replayed"] += 1
         if replayed:

@@ -27,7 +27,9 @@ shared :class:`~repro.scenarios.session.Session`:
 ``GET /store``            the store listing (one record per scenario cell)
 ``GET /healthz``          liveness + degradation: job counts (live and
                           lifetime), queue depth/limit/accepting, journal
-                          backlog, last failure
+                          backlog, last failure, metrics summary
+``GET /metrics``          Prometheus text exposition of the process-wide
+                          metrics registry (see :mod:`repro.obs`)
 ========================  ====================================================
 
 Each request runs on its own thread (``ThreadingHTTPServer``), while
@@ -50,10 +52,22 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
+from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs import (
+    REGISTRY,
+    configure_json_logging,
+    configure_tracing,
+    enabled as obs_enabled,
+    get_logger,
+    set_enabled,
+    span,
+    trace_log_for_store,
+)
 from repro.scenarios.session import Session
 from repro.scenarios.spec import SpecError
 from repro.service.jobs import JobManager
@@ -67,6 +81,62 @@ from repro.service.reliability import (
 from repro.service.wire import dump_json, parse_results_body, parse_scenario_body
 
 __all__ = ["ReproServer", "create_server", "serve"]
+
+log = get_logger("service.server")
+
+_M_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, normalised route and status.",
+    ("method", "route", "status"),
+)
+_M_REQ_LATENCY = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling time, by method and normalised route.",
+    ("method", "route"),
+)
+_M_HTTP_FAULTS = REGISTRY.counter(
+    "repro_http_faults_injected_total",
+    "HTTP-level chaos faults fired before routing, by kind.",
+    ("kind",),
+)
+
+#: Exact-match routes; parameterised paths normalise to placeholder labels so
+#: metric cardinality stays bounded no matter how many jobs/hashes exist.
+_KNOWN_ROUTES = frozenset({"/", "/healthz", "/metrics", "/store", "/jobs", "/scenarios"})
+
+
+def _route_label(path: str) -> str:
+    path = urlsplit(path).path.rstrip("/") or "/"
+    if path.startswith("/jobs/"):
+        return "/jobs/{id}"
+    if path.startswith("/results/"):
+        return "/results/{hash}"
+    return path if path in _KNOWN_ROUTES else "other"
+
+
+def _metrics_summary() -> dict[str, object]:
+    """Headline numbers for ``/healthz`` (full detail lives at ``/metrics``)."""
+    snapshot = REGISTRY.snapshot()
+
+    def total(name: str) -> float:
+        family = snapshot.get(name)
+        if family is None:
+            return 0
+        out = 0.0
+        for value in family["series"].values():  # type: ignore[union-attr]
+            if isinstance(value, dict):
+                out += value.get("count", 0)
+            else:
+                out += value
+        return out
+
+    return {
+        "enabled": obs_enabled(),
+        "families": len(snapshot),
+        "http_requests": total("repro_http_requests_total"),
+        "jobs_submitted": total("repro_jobs_submitted_total"),
+        "slots_simulated": total("repro_engine_slots_total"),
+    }
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -128,6 +198,7 @@ class _Handler(BaseHTTPRequestHandler):
         headers: dict[str, str] | None = None,
     ) -> None:
         body = dump_json(payload)
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -135,6 +206,26 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _timed(self, method: str, handler: Callable[[], None]) -> None:
+        """Run one request handler under a span + latency/status metrics.
+
+        ``_send`` records the response status on the handler instance; a
+        request eaten by the connection-reset chaos fault (no response at
+        all) is counted under status ``0``.
+        """
+        route = _route_label(self.path)
+        self._status = 0
+        started = time.monotonic()
+        with span("http.request", method=method, route=route) as request_span:
+            try:
+                handler()
+            finally:
+                request_span["status"] = self._status
+        _M_REQ_LATENCY.labels(method=method, route=route).observe(
+            time.monotonic() - started
+        )
+        _M_REQUESTS.labels(method=method, route=route, status=str(self._status)).inc()
 
     def _error(self, status: int, message: str, **extra: object) -> None:
         self._send(status, {"error": message, **extra})
@@ -153,23 +244,36 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             injector.maybe_fail("http-500")
             if injector.roll("http-reset"):
+                _M_HTTP_FAULTS.labels(kind="reset").inc()
                 self.close_connection = True
                 self.connection.close()
                 return True
         except SimulatedCrash:  # pragma: no cover - defensive
             raise
         except InjectedFault as error:  # → a retryable 500
+            _M_HTTP_FAULTS.labels(kind="500").inc()
             self._error(500, f"injected server fault: {error}")
             return True
         return False
 
     # ------------------------------------------------------------------ routes
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._timed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._timed("POST", self._handle_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        self._timed("DELETE", self._handle_delete)
+
+    def _handle_get(self) -> None:
         if self._inject_http_fault():
             return
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
             self._get_healthz()
+        elif path == "/metrics":
+            self._get_metrics()
         elif path == "/store":
             self._get_store()
         elif path == "/jobs":
@@ -181,7 +285,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+    def _handle_post(self) -> None:
         if self._inject_http_fault():
             return
         url = urlsplit(self.path)
@@ -217,7 +321,7 @@ class _Handler(BaseHTTPRequestHandler):
         }
         self._send(202 if disposition == "queued" else 200, payload)
 
-    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+    def _handle_delete(self) -> None:
         if self._inject_http_fault():
             return
         path = self.path.rstrip("/")
@@ -294,8 +398,19 @@ class _Handler(BaseHTTPRequestHandler):
                     "backlog": jobs.journal.backlog() if jobs.journal is not None else 0
                 },
                 "last_failure": jobs.last_failure,
+                "metrics": _metrics_summary(),
             },
         )
+
+    def _get_metrics(self) -> None:
+        """Prometheus text exposition of the process-wide registry."""
+        body = REGISTRY.render().encode("utf-8")
+        self._status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _get_store(self) -> None:
         store = self.server.session.store
@@ -380,6 +495,7 @@ def create_server(
     quiet: bool = True,
     max_queue: int | None = None,
     fault_injector: FaultInjector | None = None,
+    obs: bool = True,
 ) -> ReproServer:
     """Assemble a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -390,8 +506,20 @@ def create_server(
     path make the replay idempotent.  ``max_queue`` bounds accepted-but-
     unstarted jobs (full → 503 + ``Retry-After``); ``fault_injector`` adds
     HTTP-level chaos for tests.
+
+    ``obs`` toggles the observability layer (``repro serve --no-obs``):
+    metric recording is flipped process-wide, and when a store is configured
+    spans are exported to a trace log beside the journal (see
+    :func:`~repro.obs.tracing.trace_log_for_store`).  ``GET /metrics``
+    serves either way — frozen counters under ``--no-obs``.
     """
     session = Session(store_dir=store_dir, workers=workers, batch=batch)
+    set_enabled(obs)
+    if obs and session.store is not None:
+        trace_log = trace_log_for_store(session.store)
+        configure_tracing(trace_log.path if trace_log is not None else None)
+    else:
+        configure_tracing(None)
     journal = journal_for_store(session.store)
     jobs = JobManager(
         session,
@@ -415,13 +543,18 @@ def serve(
     batch: bool = True,
     quiet: bool = False,
     max_queue: int | None = None,
+    obs: bool = True,
 ) -> int:
     """Blocking entry point behind ``repro serve`` (Ctrl-C/SIGTERM to stop).
 
     SIGTERM and SIGINT trigger a graceful drain: the server stops accepting
     (new submissions get 503 + ``Retry-After``), in-flight jobs finish, and
-    jobs still queued stay journaled for the next boot to replay.
+    jobs still queued stay journaled for the next boot to replay.  Service
+    logs are structured JSON lines on stderr, each carrying the trace id of
+    the request it belongs to; ``obs=False`` (``--no-obs``) freezes metric
+    recording and span export.
     """
+    configure_json_logging()
     server = create_server(
         host=host,
         port=port,
@@ -431,13 +564,14 @@ def serve(
         batch=batch,
         quiet=quiet,
         max_queue=max_queue,
+        obs=obs,
     )
 
     def _graceful(signum: int, _frame: object) -> None:  # pragma: no cover
         # serve_forever runs on this thread, so shutdown() must come from
         # another one — calling it here would deadlock.
         if not quiet:
-            print(f"signal {signum}: draining (in-flight jobs will finish)")
+            log.info("signal %d: draining (in-flight jobs will finish)", signum)
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     try:
@@ -445,8 +579,12 @@ def serve(
         signal.signal(signal.SIGINT, _graceful)
     except ValueError:  # pragma: no cover - not on the main thread
         pass
-    print(f"repro service listening on {server.url} "
-          f"(store: {store_dir if store_dir is not None else 'none — in-memory'})")
+    log.info(
+        "repro service listening on %s (store: %s, obs: %s)",
+        server.url,
+        store_dir if store_dir is not None else "none — in-memory",
+        "on" if obs else "off",
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -454,5 +592,5 @@ def serve(
     finally:
         leftover = server.close()
         if leftover and not quiet:  # pragma: no cover - interactive shutdown
-            print(f"drained: {leftover} queued job(s) journaled for next boot")
+            log.info("drained: %d queued job(s) journaled for next boot", leftover)
     return 0

@@ -1,0 +1,87 @@
+"""Structured JSON logging tests: format, trace correlation, idempotence."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logs import JsonFormatter, configure_json_logging, get_logger
+from repro.obs.tracing import span
+
+
+def _capture_logger(stream: io.StringIO) -> logging.Logger:
+    return configure_json_logging(level=logging.INFO, stream=stream)
+
+
+def _teardown() -> None:
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    root.propagate = True
+
+
+class TestJsonLogging:
+    def test_lines_are_json_with_level_and_logger(self):
+        stream = io.StringIO()
+        _capture_logger(stream)
+        try:
+            get_logger("service.server").info("serving on %s", "http://x")
+        finally:
+            _teardown()
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.service.server"
+        assert payload["msg"] == "serving on http://x"
+        assert "trace" not in payload
+
+    def test_trace_id_attached_inside_span(self):
+        stream = io.StringIO()
+        _capture_logger(stream)
+        try:
+            with span("request"):
+                get_logger("service").info("handling")
+        finally:
+            _teardown()
+        payload = json.loads(stream.getvalue())
+        assert len(payload["trace"]) == 16
+
+    def test_extra_fields_merged(self):
+        record = logging.LogRecord("repro.x", logging.INFO, "f.py", 1, "msg", (), None)
+        record.fields = {"job": "j1", "state": "done"}
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload["job"] == "j1" and payload["state"] == "done"
+
+    def test_exception_type_recorded(self):
+        stream = io.StringIO()
+        _capture_logger(stream)
+        try:
+            try:
+                raise ValueError("nope")
+            except ValueError:
+                get_logger("x").exception("failed")
+        finally:
+            _teardown()
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert payload["exc"] == "ValueError"
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        _capture_logger(first)
+        root = _capture_logger(second)
+        try:
+            json_handlers = [
+                h for h in root.handlers if getattr(h, "_repro_json", False)
+            ]
+            assert len(json_handlers) == 1
+            get_logger("x").info("once")
+        finally:
+            _teardown()
+        assert first.getvalue() == ""
+        assert json.loads(second.getvalue())["msg"] == "once"
+
+    def test_get_logger_prefixes_names(self):
+        assert get_logger("engine").name == "repro.engine"
+        assert get_logger("repro.engine").name == "repro.engine"
+        assert get_logger("repro").name == "repro"

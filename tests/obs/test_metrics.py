@@ -1,0 +1,216 @@
+"""Metrics registry and Prometheus exposition tests.
+
+These exercise private :class:`~repro.obs.metrics.MetricsRegistry` instances,
+not the process-wide ``REGISTRY``, so they are independent of whatever the
+rest of the suite has already counted.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    set_enabled,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("repro_test_total", "help", ("who",))
+        c.labels(who="a").inc()
+        c.labels(who="a").inc(2.5)
+        assert c.labels(who="a").value == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        c = registry.counter("repro_test_total", "help")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_positional_and_keyword_labels_agree(self, registry):
+        c = registry.counter("repro_test_total", "help", ("a", "b"))
+        c.labels("x", "y").inc()
+        c.labels(a="x", b="y").inc()
+        assert c.labels("x", "y").value == 2
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("repro_test_total", "help", ("a",))
+        with pytest.raises(ValueError, match="takes 1 label"):
+            c.labels("x", "y")
+        with pytest.raises(ValueError, match="unexpected labels"):
+            c.labels(a="x", z="y")
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        c = registry.counter("repro_test_total", "help")
+        child = c.labels()
+
+        def spin():
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert child.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("repro_test_gauge", "help")
+        g.set(10)
+        g.labels().inc(5)
+        g.labels().dec(3)
+        assert g.labels().value == 12
+
+    def test_set_function_wins_and_survives_probe_errors(self, registry):
+        g = registry.gauge("repro_test_gauge", "help")
+        g.set(1)
+        g.set_function(lambda: 42)
+        assert g.labels().value == 42
+
+        def broken() -> float:
+            raise RuntimeError("probe down")
+
+        g.set_function(broken)
+        assert math.isnan(g.labels().value)
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_and_monotone(self, registry):
+        h = registry.histogram("repro_test_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h.labels().snapshot()
+        counts = list(snap["buckets"].values())
+        assert counts == sorted(counts), "cumulative buckets must be monotone"
+        assert counts[-1] == snap["count"] == 5
+        assert snap["buckets"][math.inf] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_inf_bucket_appended_when_missing(self, registry):
+        h = registry.histogram("repro_test_seconds", "help", buckets=(1.0, 2.0))
+        assert h.buckets[-1] == math.inf
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("repro_test_seconds", "help", buckets=(2.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] == math.inf
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        a = registry.counter("repro_test_total", "help", ("x",))
+        b = registry.counter("repro_test_total", "other help", ("x",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_test_total", "help")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("repro_test_total", "help")
+
+    def test_labelnames_conflict_rejected(self, registry):
+        registry.counter("repro_test_total", "help", ("a",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("repro_test_total", "help", ("b",))
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("repro_test_total", "help", ("who",)).labels(who="a").inc()
+        snap = registry.snapshot()
+        assert snap["repro_test_total"]["kind"] == "counter"
+        assert snap["repro_test_total"]["series"]['{who="a"}'] == 1
+
+
+class TestExposition:
+    def test_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_format_value(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+
+    def test_render_escapes_label_values(self, registry):
+        c = registry.counter("repro_test_total", "help", ("path",))
+        c.labels(path='a"b\n').inc()
+        text = registry.render()
+        assert 'path="a\\"b\\n"' in text
+
+    def test_render_is_deterministic_and_sorted(self, registry):
+        # Families and children created in reverse order still render sorted.
+        registry.counter("repro_z_total", "z", ("l",)).labels(l="b").inc()
+        registry.counter("repro_z_total", "z", ("l",)).labels(l="a").inc()
+        registry.counter("repro_a_total", "a").inc()
+        first = registry.render()
+        second = registry.render()
+        assert first == second
+        lines = first.splitlines()
+        assert lines[0] == "# HELP repro_a_total a"
+        a_index = lines.index("repro_a_total 1")
+        b_index = lines.index('repro_z_total{l="a"} 1')
+        c_index = lines.index('repro_z_total{l="b"} 1')
+        assert a_index < b_index < c_index
+
+    def test_render_histogram_lines(self, registry):
+        h = registry.histogram(
+            "repro_test_seconds", "help", ("op",), buckets=(0.1, 1.0)
+        )
+        h.labels(op="x").observe(0.05)
+        h.labels(op="x").observe(0.5)
+        text = registry.render()
+        assert "# TYPE repro_test_seconds histogram" in text
+        assert 'repro_test_seconds_bucket{op="x",le="0.1"} 1' in text
+        assert 'repro_test_seconds_bucket{op="x",le="1"} 2' in text
+        assert 'repro_test_seconds_bucket{op="x",le="+Inf"} 2' in text
+        assert 'repro_test_seconds_count{op="x"} 2' in text
+        assert 'repro_test_seconds_sum{op="x"}' in text
+
+    def test_bucket_lines_ascend(self, registry):
+        h = registry.histogram("repro_test_seconds", "help")
+        h.observe(0.42)
+        text = registry.render()
+        bucket_lines = [
+            line for line in text.splitlines() if "_bucket{" in line
+        ]
+        bounds = [line.split('le="')[1].split('"')[0] for line in bucket_lines]
+        parsed = [math.inf if b == "+Inf" else float(b) for b in bounds]
+        assert parsed == sorted(parsed)
+        assert parsed[-1] == math.inf
+
+
+class TestEnabledToggle:
+    def test_disabled_metrics_freeze(self, registry):
+        c = registry.counter("repro_test_total", "help")
+        g = registry.gauge("repro_test_gauge", "help")
+        h = registry.histogram("repro_test_seconds", "help")
+        c.inc()
+        set_enabled(False)
+        try:
+            c.inc()
+            g.set(99)
+            h.observe(1.0)
+            assert not metrics.enabled()
+        finally:
+            set_enabled(True)
+        assert metrics.enabled()
+        assert c.labels().value == 1
+        assert g.labels().value == 0
+        assert h.labels().snapshot()["count"] == 0
