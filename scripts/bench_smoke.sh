@@ -4,7 +4,11 @@
 # batch-engine + batch-window-engine distributional/eligibility checks of
 # bench_batch.py — both batch engines' sweeps must stay distributionally
 # interchangeable with their per-run paths, and the registry must route fair
-# and windowed cells to their own batch engines) without running the full
+# and windowed cells to their own batch engines — plus the mega-batch checks
+# of bench_megabatch.py: fused cross-cell sweeps are the default, stay
+# deterministic, route to the mega engines with a per-cell fallback on
+# fuse=False, and match the per-cell makespan distributions for every paper
+# protocol) without running the full
 # sweeps, then a Session-store smoke run proving that a repeated scenario
 # execution is served entirely from the result store, a store-migration smoke
 # (JSONL -> SQLite federation, re-served with 0 new simulations), and a
@@ -15,6 +19,10 @@
 # The full batch-speedup trajectories (write benchmark_results/BENCH_batch.json
 # and benchmark_results/BENCH_batch_window.json) run with:
 #   PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
+# and the whole-Figure-1 mega-batch comparison (per-run vs per-cell batch vs
+# fused; writes benchmark_results/BENCH_megabatch.json and asserts the fused
+# sweep >=3x over the per-cell batch sweep) with:
+#   PYTHONPATH=src python -m pytest benchmarks/bench_megabatch.py -q
 # Usage:  sh scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."

@@ -1,6 +1,6 @@
 """Simulation engines and the capability registry that picks between them.
 
-Five engines produce makespan samples of the *same* stochastic process — the
+Seven engines produce makespan samples of the *same* stochastic process — the
 paper's channel model — at very different costs.  Which engine serves which
 request is not hard-coded anywhere: every engine class declares an
 :class:`~repro.engine.registry.EngineCapabilities` record (the protocol
@@ -54,6 +54,24 @@ chooses it.
   whole monotone back-off family qualify).  **Cost:** one multinomial
   occupancy matrix per contention window covering all R live replications,
   with finished replications retired.
+* :class:`~repro.engine.megabatch.MegaFairEngine` (``"mega"``) —
+  **declares:** kind ``"fair"``, the paper's channel, batched *and*
+  ``fuses_cells``: it stacks **all fair cells of a sweep that share one
+  protocol class** — every k, every parameterisation — into a single padded
+  lockstep kernel with per-row parameters and per-row retirement.  Its
+  ``supports`` hook requires the per-row
+  :meth:`~repro.protocols.base.FairProtocol.make_fused_batch_state` hook
+  and *excludes* protocols declaring
+  ``probability_constant_between_receptions`` (slotted ALOHA), for which
+  ``BatchFairEngine``'s geometric silence skipping beats any lockstep pass.
+  **Cost:** one kernel traversal of the whole group's *global* maximum
+  makespan, instead of one per-cell traversal each.
+* :class:`~repro.engine.megabatch.MegaWindowEngine` (``"mega-window"``) —
+  the same for windowed cells: all cells sharing one window schedule
+  (equal :meth:`~repro.protocols.base.WindowedProtocol.fused_schedule_key`)
+  iterate the schedule in lockstep, with each cell's occupancy sampled from
+  its own stream exactly as ``BatchWindowEngine`` would — fused windowed
+  results are bit-identical per cell to the per-cell batch engine.
 
 Batched engines are never chosen by ``engine="auto"`` for single runs; they
 serve whole cells.  :func:`repro.experiments.runner.run_sweep` and the
@@ -71,10 +89,28 @@ tolerance, same solved rate at a binding cap) is pinned by
 ``tests/engine/test_batch_engine.py`` and
 ``tests/engine/test_batch_window_engine.py``.
 
+*Fusing* engines go one step further: the scenario
+:class:`~repro.scenarios.session.Session` (and therefore ``run_sweep``,
+Figure 1 and Table 1) groups every fusable cell of a grid by fuse key and
+executes each group as **one** :func:`simulate_megabatch` kernel pass — the
+default; disable with ``fuse=False`` / ``--no-fuse``.  Eligibility is the
+registry's :func:`~repro.engine.registry.fused_engine_for`.  Fused fair
+results are distributionally identical but not bit-identical to
+``BatchFairEngine``'s (pinned by ``tests/engine/test_megabatch.py``); each
+*cell* consumes its own seed-derived stream in composition-independent
+chunks, so a cell's fused results never depend on which siblings it was
+fused with — resumed sweeps that re-fuse only the missing cells are
+bit-identical to fresh ones.  Fusion is skipped (falling back to per-cell
+batching or per-run execution) for: single-run ``engine="auto"`` calls,
+``batch=False`` sessions, explicit non-mega engine selectors, non-default
+channels, arrival processes, constant-probability protocols (slotted
+ALOHA), and factory-only sweep cells on the legacy runner path.
+
 :func:`simulate` dispatches a single run to the cheapest capable engine,
 :func:`simulate_batch` runs a whole cell through the eligible batch engine,
-and :mod:`repro.engine.validation` provides the statistical cross-checks
-used by the test suite and the engine ablation benchmark.
+:func:`simulate_megabatch` runs a whole fused group through the eligible
+mega engine, and :mod:`repro.engine.validation` provides the statistical
+cross-checks used by the test suite and the engine ablation benchmark.
 """
 
 from __future__ import annotations
@@ -85,6 +121,7 @@ from repro.engine.registry import (
     available_engines,
     batch_engine_for,
     engine_capabilities,
+    fused_engine_for,
 )
 from repro.engine.result import SimulationResult
 from repro.engine.slot_engine import SlotEngine
@@ -92,7 +129,8 @@ from repro.engine.fair_engine import FairEngine
 from repro.engine.window_engine import WindowEngine
 from repro.engine.batch_engine import BatchFairEngine
 from repro.engine.batch_window_engine import BatchWindowEngine
-from repro.engine.dispatch import pick_engine, simulate, simulate_batch
+from repro.engine.megabatch import FusedCell, MegaFairEngine, MegaWindowEngine
+from repro.engine.dispatch import pick_engine, simulate, simulate_batch, simulate_megabatch
 from repro.engine.validation import compare_engines, makespan_samples
 
 __all__ = [
@@ -102,14 +140,19 @@ __all__ = [
     "WindowEngine",
     "BatchFairEngine",
     "BatchWindowEngine",
+    "MegaFairEngine",
+    "MegaWindowEngine",
+    "FusedCell",
     "EngineCapabilities",
     "EngineRegistry",
     "simulate",
     "simulate_batch",
+    "simulate_megabatch",
     "pick_engine",
     "available_engines",
     "batch_engine_for",
     "engine_capabilities",
+    "fused_engine_for",
     "compare_engines",
     "makespan_samples",
 ]

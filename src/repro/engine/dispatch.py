@@ -31,12 +31,14 @@ from repro.channel.trace import ExecutionTrace
 from repro.engine.batch_engine import BatchFairEngine  # noqa: F401  (registration)
 from repro.engine.batch_window_engine import BatchWindowEngine  # noqa: F401
 from repro.engine.fair_engine import FairEngine  # noqa: F401
+from repro.engine.megabatch import FusedCell, MegaFairEngine, MegaWindowEngine  # noqa: F401
 from repro.engine.registry import (
     available_engines,
     batch_engine_for,
     engine_capabilities,
     engine_class,
     engines_for,
+    fused_engine_for,
     pick_engine_name,
 )
 from repro.engine.result import SimulationResult
@@ -49,9 +51,11 @@ __all__ = [
     "available_engines",
     "batch_engine_for",
     "engine_capabilities",
+    "fused_engine_for",
     "pick_engine",
     "simulate",
     "simulate_batch",
+    "simulate_megabatch",
 ]
 
 
@@ -199,4 +203,56 @@ def simulate_batch(
     _M_BATCHES.labels(engine=name).inc()
     _M_RUNS.labels(engine=name).inc(len(results))
     _M_SLOTS.labels(engine=name).inc(sum(result.slots_simulated for result in results))
+    return results
+
+
+def simulate_megabatch(
+    cells: Sequence[FusedCell],
+    engine: str = "auto",
+    channel: ChannelModel | None = None,
+) -> list[list[SimulationResult]]:
+    """Simulate a whole group of fused (protocol, k) cells in one kernel pass.
+
+    Front door to the *fusing* engines for callers holding an entire sweep
+    group (the session planner, benchmarks): every cell's replications enter
+    one padded lockstep kernel and retire row by row, so the group costs one
+    kernel traversal of the global maximum makespan instead of one per cell.
+
+    All cells must share one fuse key (same protocol class for fair cells,
+    same window schedule for windowed ones) — the engine rejects mixed
+    groups.  Eligibility is resolved through the registry's
+    :func:`~repro.engine.registry.fused_engine_for` predicate against the
+    first cell's protocol; callers needing a silent fallback check the same
+    query first and route unfusable cells through :func:`simulate_batch` or
+    per-run :func:`simulate` calls.  Returns one result list per cell, in
+    input order; each cell's results are independent of the group's
+    composition, so re-fusing a subset (e.g. on sweep resume) reproduces the
+    original results bit for bit.
+    """
+    if not cells:
+        raise ValueError("simulate_megabatch needs at least one fused cell")
+    protocol = cells[0].protocol
+    name = fused_engine_for(protocol, engine=engine, channel=channel)
+    if name is None:
+        if engine != "auto" and not engine_capabilities(engine).fuses_cells:
+            raise ValueError(
+                f"engine {engine!r} is not a fusing engine; fusing engines: "
+                f"{engines_for(fuses_cells=True)} (or 'auto')"
+            )
+        raise ValueError(
+            f"no fusing engine can serve {type(protocol).__name__} "
+            f"(kind {getattr(protocol, 'protocol_kind', 'generic')!r}) with "
+            f"engine={engine!r} and channel={channel!r}; fusable protocols "
+            "declare per-row kernels via make_fused_batch_state / "
+            "fused_schedule_key and run on the paper's channel"
+        )
+    chosen = _instantiate(name, channel)
+    replications = sum(len(cell.seeds) for cell in cells)
+    with span("engine.megabatch", engine=name, cells=len(cells), replications=replications):
+        results = chosen.simulate_fused(cells)
+    _M_BATCHES.labels(engine=name).inc()
+    _M_RUNS.labels(engine=name).inc(replications)
+    _M_SLOTS.labels(engine=name).inc(
+        sum(result.slots_simulated for cell_results in results for result in cell_results)
+    )
     return results

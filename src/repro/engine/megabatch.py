@@ -1,0 +1,752 @@
+"""Cross-cell mega-batch engines: one fused kernel per sweep, not per cell.
+
+:class:`~repro.engine.batch_engine.BatchFairEngine` and
+:class:`~repro.engine.batch_window_engine.BatchWindowEngine` vectorise the R
+replications *within* one (protocol, k) cell, but a Figure-1 sweep still
+executes its cells one kernel launch at a time — the per-cell wins are
+serialized across the k-grid × protocol family, and every cell pays the full
+makespan of its own slowest replication.  The engines here fuse **all
+same-kind cells of a sweep into a single padded numpy lockstep kernel**:
+
+* rows of the batch are cell × replication, with a row → cell index map;
+* protocol parameters, the network size ``k`` and the ``max_slots`` cap are
+  *per-row* arrays (see
+  :meth:`~repro.protocols.base.FairProtocol.make_fused_batch_state`), so one
+  masked kernel pass per slot serves rows with different parameterisations;
+* rows retire individually — a solved k=10 replication stops consuming work
+  while its k=10⁶ siblings keep stepping — so the kernel's wall clock tracks
+  the *global* maximum makespan of the group instead of the sum of per-cell
+  maxima.
+
+Randomness and resumability
+---------------------------
+Each fused cell consumes its **own** random stream, seeded exactly like the
+per-cell batch engines (``SeedSequence(cell.seeds)``).  The fair kernel
+pre-draws each cell's uniforms in fixed-size chunks at absolute slot
+boundaries (:data:`_CHUNK`); a cell's draw count per chunk depends only on
+its *own* live-row trajectory, so a cell's fused results are **bit-identical
+no matter which group it is fused into** — alone, with any siblings, or
+re-fused by a resumed sweep that only re-runs the missing cells.  Fused fair
+results are *not* bit-identical to :class:`BatchFairEngine` (a different —
+distributionally identical — sampling of the same process, pinned by
+``tests/engine/test_megabatch.py``); fused *windowed* results consume their
+per-cell streams in exactly the order :class:`BatchWindowEngine` does and
+are therefore bit-identical to it per cell.
+
+Fusion is planned by the scenario layer (:class:`~repro.scenarios.session.Session`
+groups fusable cells by the engines' ``fuse_key`` hook) and executed through
+:func:`repro.engine.dispatch.simulate_megabatch`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.model import ChannelModel
+from repro.channel.trace import ExecutionTrace
+from repro.engine.batch_engine import _BatchAccumulator
+from repro.engine.batch_window_engine import BatchWindowEngine, _LiveWindowBatch, _WindowBatchAccumulator
+from repro.engine.registry import EngineCapabilities, check_engine_channel, register_engine
+from repro.engine.result import SimulationResult
+from repro.obs import REGISTRY
+from repro.protocols.base import FairProtocol, Protocol, WindowedProtocol
+from repro.util.validation import check_positive_int
+
+__all__ = ["FusedCell", "MegaFairEngine", "MegaWindowEngine"]
+
+# Megabatch profiling hooks (engine.megabatch.* family): rows fused per
+# kernel launch, rows retired, and kernel loop iterations.  Incremented once
+# per simulate_fused call, never per slot.
+_M_ROWS = REGISTRY.counter(
+    "repro_megabatch_rows_total",
+    "Rows (cell × replication) entering fused mega-batch kernels, by engine.",
+    ("engine",),
+)
+_M_RETIRED = REGISTRY.counter(
+    "repro_megabatch_rows_retired_total",
+    "Rows retired from fused mega-batch kernels, by engine.",
+    ("engine",),
+)
+_M_KERNEL = REGISTRY.counter(
+    "repro_megabatch_kernel_iterations_total",
+    "Fused kernel loop iterations (slots or windows), by engine.",
+    ("engine",),
+)
+_M_CELLS = REGISTRY.counter(
+    "repro_megabatch_cells_total",
+    "Cells fused into mega-batch kernel launches, by engine.",
+    ("engine",),
+)
+
+#: Slots of uniforms pre-drawn per cell per refill of the fair kernel.  The
+#: refill boundaries are *absolute* slot multiples of this constant, and each
+#: cell draws its own ``(chunk, live-rows)`` block from its own generator, so
+#: a cell's stream consumption is independent of its group's composition.
+#: The value must stay constant for that guarantee to hold across runs.
+_CHUNK = 1024
+
+
+@dataclass(frozen=True)
+class FusedCell:
+    """One (protocol, k) cell of a fused group.
+
+    ``protocol`` is the configured prototype instance (spawned fresh by the
+    kernel), ``seeds`` the per-replication seeds keying the cell's private
+    random stream, ``max_slots`` the cell's own safety cap, and ``tag`` an
+    opaque caller token carried through to the executor layer.
+    """
+
+    protocol: Protocol
+    k: int
+    seeds: tuple[int, ...]
+    max_slots: int
+    tag: object = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int("k", self.k)
+        if not self.seeds:
+            raise ValueError("a fused cell needs at least one seed")
+        check_positive_int("max_slots", self.max_slots)
+
+
+def _check_cells(cells: Sequence[FusedCell], engine_name: str) -> None:
+    if not cells:
+        raise ValueError(f"{engine_name}.simulate_fused needs at least one cell")
+
+
+class _ChunkedCellDraws:
+    """Per-cell uniform streams, pre-drawn in composition-independent chunks.
+
+    At every absolute slot multiple of :data:`_CHUNK` each cell with live
+    rows draws one ``(chunk, live)`` block from its own generator; the blocks
+    are assembled column-wise into one group-level matrix so the kernel's
+    per-slot draw is a single row view.  When rows retire, their columns are
+    dropped and their unused pre-drawn values discarded — exactly what would
+    have happened had the cell run alone.
+    """
+
+    def __init__(self, generators: Sequence[np.random.Generator], row_cell: np.ndarray) -> None:
+        self._generators = generators
+        self._cells = row_cell.copy()
+        self._block: np.ndarray | None = None
+
+    def draws(self, slot: int) -> np.ndarray:
+        offset = slot % _CHUNK
+        if offset == 0 or self._block is None:
+            self._refill()
+        assert self._block is not None
+        return self._block[offset]
+
+    def _refill(self) -> None:
+        block = np.empty((_CHUNK, self._cells.size))
+        for cell in np.unique(self._cells):
+            columns = self._cells == cell
+            block[:, columns] = self._generators[cell].random(
+                (_CHUNK, int(np.count_nonzero(columns)))
+            )
+        self._block = block
+
+    def compact(self, keep: np.ndarray) -> None:
+        self._cells = self._cells[keep]
+        if self._block is not None:
+            self._block = self._block[:, keep]
+
+
+class _FusedLiveBatch:
+    """The still-running rows of a fused fair group: counters + protocol state.
+
+    Mirrors :class:`repro.engine.batch_engine._LiveBatch`, with the network
+    size and the slot cap carried per row (rows come from cells with
+    different k).  The kernel is dispatch-overhead bound, so the per-slot
+    bookkeeping is collapsed to a single counter: ``under`` counts the slots
+    whose uniform draw fell below the silence threshold (successes +
+    silences); every other statistic is derived at retirement — successes
+    from ``k − remaining``, silences from ``under − successes``, collisions
+    from ``slots_lived − under``.
+    """
+
+    def __init__(self, ks: np.ndarray, caps: np.ndarray, state: object) -> None:
+        rows = ks.size
+        self.orig = np.arange(rows)
+        self.k = ks.astype(np.int64).copy()
+        self.remaining = self.k.copy()
+        self.cap = caps.astype(np.int64).copy()
+        self.under = np.zeros(rows, dtype=np.int64)
+        self.state = state
+
+    @property
+    def size(self) -> int:
+        return int(self.orig.size)
+
+    def retire(
+        self, mask: np.ndarray, out: _BatchAccumulator, solved: bool, slot: int
+    ) -> np.ndarray:
+        """Write final stats for the masked rows (all of which lived exactly
+        ``slot`` slots), drop them, and return the keep mask."""
+        idx = self.orig[mask]
+        successes = self.k[mask] - self.remaining[mask]
+        under = self.under[mask]
+        out.solved[idx] = solved
+        out.makespan[idx] = slot if solved else 0
+        out.slots[idx] = slot
+        out.successes[idx] = successes
+        out.silences[idx] = under - successes
+        out.collisions[idx] = slot - under
+        keep = ~mask
+        self.orig = self.orig[keep]
+        self.k = self.k[keep]
+        self.remaining = self.remaining[keep]
+        self.cap = self.cap[keep]
+        self.under = self.under[keep]
+        self.state.compact(keep)
+        return keep
+
+
+@register_engine
+class MegaFairEngine:
+    """Fuse every fair (protocol, k) cell of a sweep into one lockstep kernel."""
+
+    name = "mega"
+
+    #: Mega-batch engine for fair protocols on the paper's channel.  Batched
+    #: (it can serve one cell through ``simulate_batch``) *and* fusing; the
+    #: registry's ``batch_engine_for`` auto path skips fusing engines, so it
+    #: is reached only via ``fused_engine_for`` or an explicit selector.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"fair"}),
+        batched=True,
+        fuses_cells=True,
+        cost_rank=40,
+    )
+
+    def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
+        self.channel = check_engine_channel(type(self), channel)
+        self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
+
+    # ------------------------------------------------------------ eligibility
+    @classmethod
+    def supports(cls, protocol: Protocol) -> bool:
+        """Whether ``protocol``'s cells can be fused by this engine.
+
+        Requires the fair kind, the fair-engine state contract, a *per-row*
+        fused kernel (:meth:`FairProtocol.make_fused_batch_state`) and a
+        probability that actually varies between receptions — protocols
+        declaring ``probability_constant_between_receptions`` (slotted
+        ALOHA) are excluded because the per-cell batch engine's geometric
+        silence skipping beats any lockstep kernel for them.
+        """
+        if getattr(protocol, "protocol_kind", "generic") not in cls.capabilities.protocol_kinds:
+            return False
+        if protocol.state_depends_on_own_transmission:
+            return False
+        if protocol.probability_constant_between_receptions:
+            return False
+        return type(protocol).make_fused_batch_state([protocol.spawn()], [1]) is not None
+
+    @classmethod
+    def fuse_key(cls, protocol: Protocol) -> object:
+        """Cells sharing this key may enter one fused kernel.
+
+        Fair cells fuse per protocol *class*: the per-row parameter arrays of
+        the fused state absorb any difference in constructor parameters, so
+        e.g. both Log-fails Adaptive ``ξt`` variants of the paper's suite
+        stack into one kernel.
+        """
+        return type(protocol)
+
+    # ----------------------------------------------------------------- public
+    def simulate(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        seed: int = 0,
+        max_slots: int | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> SimulationResult:
+        """Run one instance as a fused group of one cell of one replication."""
+        if trace is not None:
+            raise ValueError(
+                "MegaFairEngine does not collect traces (outcomes are classified "
+                "in bulk, not slot records); use FairEngine for traced runs"
+            )
+        return self.simulate_batch(protocol, k, [seed], max_slots=max_slots)[0]
+
+    def simulate_batch(
+        self,
+        protocol: FairProtocol,
+        k: int,
+        seeds: Sequence[int],
+        max_slots: int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate one cell — a fused group of size one (the batch API)."""
+        cap = max_slots if max_slots is not None else self.max_slots_factor * k
+        cell = FusedCell(protocol=protocol, k=k, seeds=tuple(int(s) for s in seeds), max_slots=cap)
+        return self.simulate_fused([cell])[0]
+
+    def simulate_fused(self, cells: Sequence[FusedCell]) -> list[list[SimulationResult]]:
+        """Simulate every cell of the group in one fused kernel pass.
+
+        Returns one result list per cell (ordered like ``cells``, one
+        :class:`SimulationResult` per seed).  Each cell's results are
+        bit-identical regardless of the group's composition.
+        """
+        _check_cells(cells, type(self).__name__)
+        prototypes = []
+        for cell in cells:
+            if not isinstance(cell.protocol, FairProtocol):
+                raise TypeError(
+                    f"MegaFairEngine requires FairProtocol cells, got "
+                    f"{type(cell.protocol).__name__}"
+                )
+            if not self.supports(cell.protocol):
+                raise ValueError(
+                    f"{type(cell.protocol).__name__} has no per-row fused kernel "
+                    "(or declares a contract the fused reduction cannot serve)"
+                )
+            prototypes.append(cell.protocol.spawn())
+        keys = {self.fuse_key(cell.protocol) for cell in cells}
+        if len(keys) != 1:
+            raise ValueError(
+                f"MegaFairEngine can fuse only cells of one protocol class, got "
+                f"{sorted(key.__name__ for key in keys)}"
+            )
+
+        counts = [len(cell.seeds) for cell in cells]
+        state = type(prototypes[0]).make_fused_batch_state(prototypes, counts)
+        if state is None:  # pragma: no cover - guarded by supports()
+            raise ValueError(
+                f"{type(prototypes[0]).__name__} provides no fused batch state"
+            )
+        row_cell = np.repeat(np.arange(len(cells)), counts)
+        ks = np.repeat([cell.k for cell in cells], counts)
+        caps = np.repeat([cell.max_slots for cell in cells], counts)
+        generators = [
+            np.random.default_rng(np.random.SeedSequence(list(cell.seeds))) for cell in cells
+        ]
+
+        rows = int(row_cell.size)
+        live = _FusedLiveBatch(ks, caps, state)
+        out = _BatchAccumulator.empty(rows)
+        iterations = self._run_lockstep(live, out, generators, row_cell)
+        _M_ROWS.labels(engine=self.name).inc(rows)
+        _M_RETIRED.labels(engine=self.name).inc(rows)
+        _M_KERNEL.labels(engine=self.name).inc(iterations)
+        _M_CELLS.labels(engine=self.name).inc(len(cells))
+
+        results: list[list[SimulationResult]] = []
+        offset = 0
+        for cell, reps in zip(cells, counts):
+            cell_results = [
+                SimulationResult(
+                    solved=bool(out.solved[offset + index]),
+                    makespan=int(out.makespan[offset + index]) if out.solved[offset + index] else None,
+                    k=cell.k,
+                    slots_simulated=int(out.slots[offset + index]),
+                    successes=int(out.successes[offset + index]),
+                    collisions=int(out.collisions[offset + index]),
+                    silences=int(out.silences[offset + index]),
+                    protocol=cell.protocol.name,
+                    engine=self.name,
+                    seed=cell.seeds[index],
+                    metadata={"batch_reps": reps},
+                )
+                for index in range(reps)
+            ]
+            results.append(cell_results)
+            offset += reps
+        return results
+
+    # -------------------------------------------------------------- internals
+    def _run_lockstep(
+        self,
+        live: _FusedLiveBatch,
+        out: _BatchAccumulator,
+        generators: Sequence[np.random.Generator],
+        row_cell: np.ndarray,
+    ) -> int:
+        """One masked kernel pass per slot with per-row retirement.
+
+        Identical slot semantics to ``BatchFairEngine._run_lockstep`` — the
+        same classification thresholds (``draw < P(success)`` then
+        ``< P(success) + P(silence)``), the same per-slot feedback — but
+        organised around the fact that on a few dozen rows every numpy
+        dispatch costs as much as the arithmetic:
+
+        * caps are *events*, not per-slot checks — the distinct cap values
+          are visited in ascending order and the capped-row pass runs only
+          at those slots;
+        * the outcome thresholds are cached per state identity
+          (:meth:`~repro.protocols.base.FairBatchState.probabilities_cached`)
+          and invalidated when the remaining counts change — a protocol
+          alternating a few probability flavors (AT/BT schedules) recomputes
+          each flavor's thresholds once per reception, not once per slot;
+        * successes are sparse, so all success-dependent updates hide behind
+          one ``success.any()``.
+
+        Returns the number of slots stepped (the group's makespan).
+        """
+        draws = _ChunkedCellDraws(generators, row_cell)
+        state = live.state
+        probabilities_cached = state.probabilities_cached
+        observe_receptions = state.observe_receptions
+        next_draws = draws.draws
+        cap_values = np.unique(live.cap)
+        cap_index = 0
+        next_cap = int(cap_values[0])
+        remaining = live.remaining
+        under = live.under
+        remaining_f = remaining.astype(float)
+        exponent = remaining_f - 1.0
+        # Classification thresholds stacked as one (2, rows) array — row 0 is
+        # P(success), row 1 is P(success) + P(silence) — so the per-slot
+        # classification is a single broadcast comparison.  One entry is kept
+        # per probability flavor (see probabilities_cached); `changes` logs
+        # the rows whose inputs (probability, remaining count) moved since,
+        # and each entry records its position in that log so a cache hit
+        # patches only the logged rows, scalar-wise, instead of rebuilding.
+        # Row indices shift when rows retire, so retirement drops everything.
+        entries: dict[object, list] = {}
+        entries_get = entries.get
+        changes: list[int] = []
+        scratch: np.ndarray | None = None
+        # Reusable per-slot buffers: the (2, rows) outcome of the broadcast
+        # comparison and the rebuild temporaries q / q**exponent.  Allocated
+        # lazily and dropped whenever the row count changes.
+        outcome = np.empty((2, remaining.size), dtype=bool)
+        success = outcome[0]
+        below = outcome[1]
+        q_buf: np.ndarray | None = None
+        q_pow_buf: np.ndarray | None = None
+        slot = 0
+        while live.orig.size:
+            if slot == next_cap:
+                capped = live.cap <= slot
+                if capped.any():
+                    keep = live.retire(capped, out, solved=False, slot=slot)
+                    draws.compact(keep)
+                    if not live.orig.size:
+                        break
+                    remaining = live.remaining
+                    under = live.under
+                    remaining_f = remaining_f[keep]
+                    exponent = exponent[keep]
+                    entries.clear()
+                    changes.clear()
+                    scratch = None
+                    outcome = np.empty((2, remaining.size), dtype=bool)
+                    success = outcome[0]
+                    below = outcome[1]
+                    q_buf = None
+                    q_pow_buf = None
+                cap_index += 1
+                next_cap = int(cap_values[cap_index]) if cap_index < cap_values.size else -1
+            p, key = probabilities_cached(slot)
+            if key is None:
+                if scratch is None:
+                    scratch = np.empty((2, p.size))
+                thresholds = scratch
+                rebuild = True
+            else:
+                entry = entries_get(key)
+                if entry is None:
+                    thresholds = np.empty((2, p.size))
+                    entries[key] = [len(changes), thresholds]
+                    rebuild = True
+                else:
+                    thresholds = entry[1]
+                    pointer = entry[0]
+                    logged = len(changes)
+                    rebuild = False
+                    if pointer != logged:
+                        stale = set(changes[pointer:])
+                        # A scalar np.power costs more than the whole-array
+                        # power, so patching pays off only for 1-2 rows.
+                        if len(stale) > 2:
+                            rebuild = True
+                        else:
+                            for i in stale:
+                                p_i = p[i]
+                                q_i = 1.0 - p_i
+                                # np.power (not **): the scalar ufunc call is
+                                # bit-identical to the array rebuild below,
+                                # scalarmath __pow__ is not.
+                                q_pow_i = np.power(q_i, exponent[i])
+                                t0 = remaining_f[i] * p_i * q_pow_i
+                                thresholds[0, i] = t0
+                                thresholds[1, i] = q_pow_i * q_i + t0
+                        entry[0] = logged
+            if rebuild:
+                if q_buf is None:
+                    q_buf = np.empty(p.size)
+                    q_pow_buf = np.empty(p.size)
+                q = np.subtract(1.0, p, out=q_buf)
+                q_pow = np.power(q, exponent, out=q_pow_buf)
+                probability_success = np.multiply(remaining_f, p, out=thresholds[0])
+                probability_success *= q_pow
+                silence_limit = np.multiply(q_pow, q, out=thresholds[1])
+                silence_limit += probability_success
+            np.less(next_draws(slot), thresholds, out=outcome)
+            under += below
+            rows = success.nonzero()[0]
+            any_success = rows.size > 0
+            state_rows = observe_receptions(slot, success, any_success, rows)
+            if state_rows is None:
+                entries.clear()
+                changes.clear()
+            elif state_rows.size:
+                changes.extend(state_rows.tolist())
+            slot += 1
+            if any_success:
+                changes.extend(rows.tolist())
+                finished_any = False
+                if rows.size <= 8:
+                    # Successes are sparse (usually one row per slot);
+                    # per-row scalar updates beat four whole-array passes.
+                    for index in rows:
+                        i = int(index)
+                        remaining[i] -= 1
+                        remaining_f[i] -= 1.0
+                        exponent[i] -= 1.0
+                        if remaining[i] == 0:
+                            finished_any = True
+                else:
+                    remaining -= success
+                    remaining_f -= success
+                    exponent -= success
+                    finished_any = bool((remaining == 0).any())
+                if finished_any:
+                    finished = remaining == 0
+                    keep = live.retire(finished, out, solved=True, slot=slot)
+                    draws.compact(keep)
+                    remaining = live.remaining
+                    under = live.under
+                    remaining_f = remaining_f[keep]
+                    exponent = exponent[keep]
+                    entries.clear()
+                    changes.clear()
+                    scratch = None
+                    outcome = np.empty((2, remaining.size), dtype=bool)
+                    success = outcome[0]
+                    below = outcome[1]
+                    q_buf = None
+                    q_pow_buf = None
+        return slot
+
+
+@register_engine
+class MegaWindowEngine:
+    """Fuse every same-schedule windowed cell of a sweep into one lockstep pass."""
+
+    name = "mega-window"
+
+    #: Mega-batch engine for windowed protocols on the paper's channel; see
+    #: :class:`MegaFairEngine` for the selection rules it shares.
+    capabilities = EngineCapabilities(
+        protocol_kinds=frozenset({"windowed"}),
+        batched=True,
+        fuses_cells=True,
+        cost_rank=40,
+    )
+
+    def __init__(self, channel: ChannelModel | None = None, max_slots_factor: int = 10_000) -> None:
+        self.channel = check_engine_channel(type(self), channel)
+        self.max_slots_factor = check_positive_int("max_slots_factor", max_slots_factor)
+        # The occupancy samplers (saturated shortcut, multinomial rows, ball
+        # throwing) are borrowed verbatim from the per-cell windowed batch
+        # engine, which keeps the two engines' draw sequences — and therefore
+        # their per-cell results — bit-identical.
+        self._inner = BatchWindowEngine(channel=channel, max_slots_factor=max_slots_factor)
+
+    # ------------------------------------------------------------ eligibility
+    @classmethod
+    def supports(cls, protocol: Protocol) -> bool:
+        """Whether ``protocol``'s cells can be fused: windowed kind, a shared
+        window schedule kernel *and* a declared schedule identity
+        (:meth:`WindowedProtocol.fused_schedule_key`)."""
+        if getattr(protocol, "protocol_kind", "generic") not in cls.capabilities.protocol_kinds:
+            return False
+        if protocol.make_window_batch_state(1) is None:
+            return False
+        return protocol.fused_schedule_key() is not None
+
+    @classmethod
+    def fuse_key(cls, protocol: Protocol) -> object:
+        """Cells sharing this key traverse identical window schedules.
+
+        Windowed cells fuse per *schedule identity* — the lockstep window
+        iteration requires every fused row to share window boundaries, so
+        only cells whose protocols report equal
+        :meth:`~repro.protocols.base.WindowedProtocol.fused_schedule_key`
+        values group together (e.g. every k of one backoff parameterisation).
+        """
+        return protocol.fused_schedule_key()
+
+    # ----------------------------------------------------------------- public
+    def simulate(
+        self,
+        protocol: WindowedProtocol,
+        k: int,
+        seed: int = 0,
+        max_slots: int | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> SimulationResult:
+        """Run one instance as a fused group of one cell of one replication."""
+        if trace is not None:
+            raise ValueError(
+                "MegaWindowEngine does not collect traces (windows are classified "
+                "in bulk, not slot records); use WindowEngine for traced runs"
+            )
+        return self.simulate_batch(protocol, k, [seed], max_slots=max_slots)[0]
+
+    def simulate_batch(
+        self,
+        protocol: WindowedProtocol,
+        k: int,
+        seeds: Sequence[int],
+        max_slots: int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate one cell — a fused group of size one (the batch API)."""
+        cap = max_slots if max_slots is not None else self.max_slots_factor * k
+        cell = FusedCell(protocol=protocol, k=k, seeds=tuple(int(s) for s in seeds), max_slots=cap)
+        return self.simulate_fused([cell])[0]
+
+    def simulate_fused(self, cells: Sequence[FusedCell]) -> list[list[SimulationResult]]:
+        """Simulate every cell of the group against one shared window schedule.
+
+        Returns one result list per cell (ordered like ``cells``).  Each
+        cell consumes its own random stream in exactly the order the
+        per-cell :class:`BatchWindowEngine` would, so per-cell results are
+        bit-identical to it — and therefore independent of the group's
+        composition.
+        """
+        _check_cells(cells, type(self).__name__)
+        keys = set()
+        for cell in cells:
+            if not isinstance(cell.protocol, WindowedProtocol):
+                raise TypeError(
+                    f"MegaWindowEngine requires WindowedProtocol cells, got "
+                    f"{type(cell.protocol).__name__}"
+                )
+            if not self.supports(cell.protocol):
+                raise ValueError(
+                    f"{type(cell.protocol).__name__} declares no fusable window schedule"
+                )
+            keys.add(self.fuse_key(cell.protocol))
+        if len(keys) != 1:
+            raise ValueError(
+                f"MegaWindowEngine can fuse only cells sharing one window schedule, "
+                f"got {len(keys)} distinct schedule keys"
+            )
+
+        counts = [len(cell.seeds) for cell in cells]
+        rows = sum(counts)
+        schedule_state = cells[0].protocol.make_window_batch_state(rows)
+        assert schedule_state is not None  # guarded by supports()
+        schedule = schedule_state.lengths
+        generators = [
+            np.random.default_rng(np.random.SeedSequence(list(cell.seeds))) for cell in cells
+        ]
+        lives = [_LiveWindowBatch(cell.k, reps) for cell, reps in zip(cells, counts)]
+        outs = [_WindowBatchAccumulator.empty(reps) for reps in counts]
+
+        iterations = self._run(cells, schedule, lives, outs, generators)
+        _M_ROWS.labels(engine=self.name).inc(rows)
+        _M_RETIRED.labels(engine=self.name).inc(rows)
+        _M_KERNEL.labels(engine=self.name).inc(iterations)
+        _M_CELLS.labels(engine=self.name).inc(len(cells))
+
+        results: list[list[SimulationResult]] = []
+        for cell, reps, out in zip(cells, counts, outs):
+            results.append(
+                [
+                    SimulationResult(
+                        solved=bool(out.solved[index]),
+                        makespan=int(out.makespan[index]) if out.solved[index] else None,
+                        k=cell.k,
+                        slots_simulated=int(out.slots[index]),
+                        successes=int(out.successes[index]),
+                        collisions=int(out.collisions[index]),
+                        silences=int(out.silences[index]),
+                        protocol=cell.protocol.name,
+                        engine=self.name,
+                        seed=cell.seeds[index],
+                        metadata={
+                            "batch_reps": reps,
+                            "windows": int(out.windows[index]),
+                        },
+                    )
+                    for index in range(reps)
+                ]
+            )
+        return results
+
+    # -------------------------------------------------------------- internals
+    def _run(
+        self,
+        cells: Sequence[FusedCell],
+        schedule,
+        lives: Sequence[_LiveWindowBatch],
+        outs: Sequence[_WindowBatchAccumulator],
+        generators: Sequence[np.random.Generator],
+    ) -> int:
+        """Lockstep iteration of the one shared schedule across all cells.
+
+        Every decision that touches randomness — the per-cell saturated
+        shortcut and the occupancy sampling — is made per cell with the
+        cell's own generator, in the same order ``BatchWindowEngine._run``
+        makes it, so per-cell draw sequences match the per-cell engine
+        exactly.  Returns the number of windows iterated.
+        """
+        inner = self._inner
+        window_start = 0
+        windows = 0
+        while True:
+            running = [index for index, live in enumerate(lives) if live.size]
+            if not running:
+                break
+            for index in running:
+                live = lives[index]
+                if window_start >= cells[index].max_slots:
+                    live.retire(
+                        np.ones(live.size, dtype=bool),
+                        outs[index],
+                        solved=False,
+                        slots=np.full(live.size, window_start, dtype=np.int64),
+                    )
+            running = [index for index in running if lives[index].size]
+            if not running:
+                break
+            try:
+                length = int(next(schedule))
+            except StopIteration as error:
+                unsolved = sum(lives[index].size for index in running)
+                raise RuntimeError(
+                    f"{type(cells[0].protocol).__name__}: window schedule exhausted "
+                    f"with {unsolved} fused replications unsolved"
+                ) from error
+            if length < 1:
+                raise ValueError(f"window length must be >= 1, got {length}")
+            windows += 1
+
+            for index in running:
+                live = lives[index]
+                if inner._saturated(length, int(live.remaining.min())):
+                    live.collisions += length
+                    live.windows += 1
+                    continue
+                delivered, collisions, silences, end_slot = inner._window_outcomes(
+                    generators[index], live.remaining, length, window_start
+                )
+                finishing = delivered == live.remaining
+                live.successes += delivered
+                live.collisions += collisions
+                live.silences += silences
+                live.windows += 1
+                live.remaining -= delivered
+                if finishing.any():
+                    live.retire(finishing, outs[index], solved=True, slots=end_slot)
+            window_start += length
+        return windows

@@ -44,6 +44,7 @@ __all__ = [
     "check_engine_channel",
     "pick_engine_name",
     "batch_engine_for",
+    "fused_engine_for",
 ]
 
 #: The paper's channel: no collision detection, implicit acknowledgements.
@@ -74,6 +75,13 @@ class EngineCapabilities:
         one cell per call, plus a ``supports(protocol)`` kernel check.
         Batched engines are never chosen by ``engine="auto"`` for single
         runs; :func:`batch_engine_for` selects among them for whole cells.
+    fuses_cells:
+        Whether the engine is a *mega-batch* engine: it additionally exposes
+        ``simulate_fused(cells)`` running many (protocol, k) cells of a sweep
+        in one fused kernel, plus a ``fuse_key(protocol)`` grouping hook.
+        Fusing engines are selected only by :func:`fused_engine_for` —
+        ``batch_engine_for``'s ``"auto"`` path skips them, so per-cell batch
+        planning is unchanged when fusion is off.
     traces:
         Whether the engine can fill an
         :class:`~repro.channel.trace.ExecutionTrace` with per-slot records.
@@ -90,6 +98,7 @@ class EngineCapabilities:
     )
     arrivals: bool = False
     batched: bool = False
+    fuses_cells: bool = False
     traces: bool = False
     cost_rank: int = 100
 
@@ -211,19 +220,22 @@ class EngineRegistry:
         channel: ChannelModel | None = None,
         arrivals: object | None = None,
         batched: bool | None = None,
+        fuses_cells: bool | None = None,
         traces: bool | None = None,
     ) -> list[str]:
         """Names of every engine serving the request, cheapest first.
 
         ``arrivals`` is the requested arrival process; any non-``None``
         value (``True`` works as a pure capability filter) restricts the
-        listing to engines declaring arrival support.  ``batched`` and
-        ``traces`` filter on the declared flags exactly.
+        listing to engines declaring arrival support.  ``batched``,
+        ``fuses_cells`` and ``traces`` filter on the declared flags exactly.
         """
         matches = []
         for name in self.names():
             caps = self.capabilities(name)
             if batched is not None and caps.batched != batched:
+                continue
+            if fuses_cells is not None and caps.fuses_cells != fuses_cells:
                 continue
             if traces is not None and caps.traces != traces:
                 continue
@@ -316,8 +328,43 @@ class EngineRegistry:
         if arrivals is not None:
             return None
         if engine == "auto":
-            candidates = self.engines_for(protocol=protocol, channel=channel, batched=True)
+            candidates = self.engines_for(
+                protocol=protocol, channel=channel, batched=True, fuses_cells=False
+            )
         elif engine in self._engines and self.capabilities(engine).batched:
+            candidates = [engine] if self.serves(engine, protocol=protocol, channel=channel) else []
+        else:
+            return None
+        for name in candidates:
+            if self.engine_class(name).supports(protocol):
+                return name
+        return None
+
+    def fused_engine_for(
+        self,
+        protocol: object,
+        engine: str = "auto",
+        channel: ChannelModel | None = None,
+        arrivals: ArrivalProcess | None = None,
+    ) -> str | None:
+        """The mega-batch engine able to fuse this protocol's cells, or ``None``.
+
+        The one *fusion*-eligibility predicate, mirroring
+        :meth:`batch_engine_for`: a cell is fusable when a registered engine
+        declaring ``fuses_cells`` (a) is admissible under the ``engine=``
+        selector (``"auto"`` considers every fusing engine, an explicit
+        fusing name considers only itself, any other selector none),
+        (b) declares capabilities covering the protocol kind and channel, and
+        (c) confirms a per-row kernel for this specific protocol instance via
+        its ``supports`` hook.  Arrival processes are never fusable.
+        """
+        if arrivals is not None:
+            return None
+        if engine == "auto":
+            candidates = self.engines_for(
+                protocol=protocol, channel=channel, batched=True, fuses_cells=True
+            )
+        elif engine in self._engines and self.capabilities(engine).fuses_cells:
             candidates = [engine] if self.serves(engine, protocol=protocol, channel=channel) else []
         else:
             return None
@@ -375,12 +422,18 @@ def engines_for(
     channel: ChannelModel | None = None,
     arrivals: object | None = None,
     batched: bool | None = None,
+    fuses_cells: bool | None = None,
     traces: bool | None = None,
 ) -> list[str]:
     """Names of every engine serving the request, cheapest first
     (see :meth:`EngineRegistry.engines_for`)."""
     return _loaded().engines_for(
-        protocol=protocol, channel=channel, arrivals=arrivals, batched=batched, traces=traces
+        protocol=protocol,
+        channel=channel,
+        arrivals=arrivals,
+        batched=batched,
+        fuses_cells=fuses_cells,
+        traces=traces,
     )
 
 
@@ -402,3 +455,13 @@ def batch_engine_for(
 ) -> str | None:
     """The one batch-eligibility predicate (see :meth:`EngineRegistry.batch_engine_for`)."""
     return _loaded().batch_engine_for(protocol, engine=engine, channel=channel, arrivals=arrivals)
+
+
+def fused_engine_for(
+    protocol: object,
+    engine: str = "auto",
+    channel: ChannelModel | None = None,
+    arrivals: ArrivalProcess | None = None,
+) -> str | None:
+    """The one fusion-eligibility predicate (see :meth:`EngineRegistry.fused_engine_for`)."""
+    return _loaded().fused_engine_for(protocol, engine=engine, channel=channel, arrivals=arrivals)

@@ -204,6 +204,15 @@ class ExperimentConfig:
     are deterministic in the seed but sample a *different* (distributionally
     identical) set of runs than ``batch=False``, which replays the historical
     per-run streams.
+
+    ``fuse`` (default True) additionally stacks all fusable cells of the
+    grid into cross-cell mega-batch kernels
+    (:class:`~repro.engine.megabatch.MegaFairEngine` /
+    :class:`~repro.engine.megabatch.MegaWindowEngine`) — one fused kernel
+    pass per protocol family instead of one batch call per cell.  Requires
+    ``batch``; fused sweeps sample yet another (distributionally identical)
+    set of runs than per-cell batched ones, deterministic in the seed and
+    independent of which cells happen to fuse together.
     """
 
     k_values: Sequence[int] = field(default_factory=paper_k_values)
@@ -212,6 +221,7 @@ class ExperimentConfig:
     max_slots_factor: int = 10_000
     workers: int = 1
     batch: bool = True
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if not self.k_values:
@@ -233,4 +243,5 @@ class ExperimentConfig:
             "max_slots_factor": self.max_slots_factor,
             "workers": self.workers,
             "batch": self.batch,
+            "fuse": self.fuse,
         }

@@ -136,6 +136,13 @@ def main(argv: list[str] | None = None) -> int:
         "(--no-batch replays the historical per-run streams)",
     )
     parser.add_argument(
+        "--fuse",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuse all same-kind cells of the sweep into cross-cell mega-batch "
+        "kernels (--no-fuse falls back to one batch call per cell)",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -157,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         batch=args.batch,
+        fuse=args.fuse,
     )
     figure = reproduce_figure1(config=config, progress=not args.quiet, store_dir=args.store)
 

@@ -24,6 +24,14 @@ of the same (protocol, k) cell (``seeds`` set instead of ``seed``).  Batch
 units compose with the process pool exactly like single-run units — cells fan
 out across workers while each cell's replications run vectorised within one —
 and their outcome carries one result per seed.
+
+The largest unit is a *fused group*: one
+:func:`~repro.engine.dispatch.simulate_megabatch` call covering many whole
+(protocol, k) cells (``cells`` set instead of ``seeds``/``seed``).  The fused
+kernel's wall clock is one measurement for the whole group, so the outcome
+apportions it back to the member cells in proportion to the rows × slots each
+cell actually kept live inside the kernel — the best available estimate of
+each cell's share of the fused work.
 """
 
 from __future__ import annotations
@@ -36,11 +44,18 @@ from dataclasses import dataclass, field
 
 from repro.channel.arrivals import ArrivalProcess
 from repro.channel.model import ChannelModel
-from repro.engine.dispatch import simulate, simulate_batch
+from repro.engine.dispatch import FusedCell, simulate, simulate_batch, simulate_megabatch
 from repro.engine.result import SimulationResult
 from repro.protocols.base import Protocol
 
-__all__ = ["SimulationUnit", "UnitOutcome", "ParallelExecutor", "resolve_workers"]
+__all__ = [
+    "FusedCell",
+    "FusedCellOutcome",
+    "SimulationUnit",
+    "UnitOutcome",
+    "ParallelExecutor",
+    "resolve_workers",
+]
 
 #: Cap on in-flight futures per worker; bounds parent-side memory for huge
 #: sweeps without starving the pool.
@@ -78,6 +93,15 @@ class SimulationUnit:
         ``arrivals`` are ignored; the protocol must be batch-eligible, and
         ``engine`` selects among the batched engines — ``"auto"`` resolves
         through the registry's batch-eligibility query).
+    cells:
+        When set, the unit is a *fused group*: every listed
+        :class:`~repro.engine.megabatch.FusedCell` runs in one
+        :func:`~repro.engine.dispatch.simulate_megabatch` kernel pass
+        (``protocol``/``k``/``seed``/``seeds``/``arrivals``/``max_slots``
+        are ignored — each cell carries its own; ``protocol`` and ``k``
+        should mirror the first cell for display purposes).  The outcome
+        carries one :class:`FusedCellOutcome` per cell, tagged with the
+        cell's own ``tag``.
     """
 
     protocol: Protocol
@@ -89,6 +113,21 @@ class SimulationUnit:
     channel: ChannelModel | None = None
     tag: object = None
     seeds: tuple[int, ...] | None = None
+    cells: tuple[FusedCell, ...] | None = None
+
+
+@dataclass(frozen=True)
+class FusedCellOutcome:
+    """One cell's slice of a fused-group execution.
+
+    ``elapsed_seconds`` is the cell's apportioned share of the fused
+    kernel's wall clock, weighted by the slots its rows actually simulated
+    (cells that retire early cost — and are charged — less).
+    """
+
+    tag: object
+    results: tuple[SimulationResult, ...]
+    elapsed_seconds: float
 
 
 @dataclass(frozen=True)
@@ -97,7 +136,9 @@ class UnitOutcome:
 
     Single-run units populate both ``result`` and the one-element
     ``results``; batch units populate ``results`` (one entry per seed, in
-    seed order) and leave ``result`` ``None``.
+    seed order) and leave ``result`` ``None``; fused-group units populate
+    ``cells`` (one :class:`FusedCellOutcome` per fused cell, in cell order)
+    plus the flattened ``results``.
     """
 
     index: int
@@ -105,6 +146,7 @@ class UnitOutcome:
     elapsed_seconds: float
     tag: object = None
     results: tuple[SimulationResult, ...] = field(default=())
+    cells: tuple[FusedCellOutcome, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.results and self.result is not None:
@@ -123,6 +165,40 @@ def resolve_workers(workers: int | None) -> int:
 def _execute_unit(index: int, unit: SimulationUnit) -> UnitOutcome:
     """Run one unit (module-level so process pools can pickle it)."""
     started = time.perf_counter()
+    if unit.cells is not None:
+        per_cell = simulate_megabatch(
+            unit.cells,
+            engine=unit.engine,
+            channel=unit.channel,
+        )
+        elapsed = time.perf_counter() - started
+        # The kernel's cost is one number for the whole group; attribute it
+        # to cells by the rows × slots they kept live (retired rows stop
+        # contributing), so per-cell elapsed_seconds stays meaningful for
+        # sweep reporting even though the cells ran fused.
+        weights = [
+            sum(result.slots_simulated for result in cell_results)
+            for cell_results in per_cell
+        ]
+        total_weight = sum(weights) or len(per_cell)
+        cell_outcomes = tuple(
+            FusedCellOutcome(
+                tag=cell.tag,
+                results=tuple(cell_results),
+                elapsed_seconds=elapsed * (weight if sum(weights) else 1) / total_weight,
+            )
+            for cell, cell_results, weight in zip(unit.cells, per_cell, weights)
+        )
+        return UnitOutcome(
+            index=index,
+            result=None,
+            elapsed_seconds=elapsed,
+            tag=unit.tag,
+            results=tuple(
+                result for cell_results in per_cell for result in cell_results
+            ),
+            cells=cell_outcomes,
+        )
     if unit.seeds is not None:
         results = simulate_batch(
             unit.protocol,

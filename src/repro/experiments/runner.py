@@ -10,10 +10,14 @@ Since the declarative scenario API landed, :func:`run_sweep` is a thin
 *scenario-preset builder*: each (protocol, k) cell whose
 :class:`~repro.experiments.config.ProtocolSpec` carries a spec string becomes
 one frozen :class:`~repro.scenarios.scenario.Scenario`, and the whole grid is
-executed by a :class:`~repro.scenarios.session.Session` — which fans cells out
-over a :class:`~repro.experiments.parallel.ParallelExecutor`, groups
-batch-eligible cells into one vectorised batch-engine call each (the
-registry's :func:`~repro.engine.registry.batch_engine_for` picks
+executed by a :class:`~repro.scenarios.session.Session` — which *fuses* all
+same-kind cells of the grid into cross-cell mega-batch kernels by default
+(the registry's :func:`~repro.engine.registry.fused_engine_for` picks
+:class:`~repro.engine.megabatch.MegaFairEngine` /
+:class:`~repro.engine.megabatch.MegaWindowEngine`; ``fuse=False`` opts out),
+groups the remaining batch-eligible cells into one vectorised
+batch-engine call each
+(:func:`~repro.engine.registry.batch_engine_for` picks
 :class:`~repro.engine.batch_engine.BatchFairEngine` for fair cells and
 :class:`~repro.engine.batch_window_engine.BatchWindowEngine` for windowed
 ones), and (when ``store_dir`` is given) persists every replication to a
@@ -151,6 +155,7 @@ def run_sweep(
     workers: int | None = None,
     arrivals_factory: Callable[[int], ArrivalProcess] | None = None,
     batch: bool | None = None,
+    fuse: bool | None = None,
     store_dir: str | Path | None = None,
 ) -> SweepResult:
     """Run every (protocol, k, repetition) combination of the sweep.
@@ -197,6 +202,15 @@ def run_sweep(
         (protocols without a vectorised kernel, custom arrivals, explicit
         per-run ``engine`` selectors) silently take the per-run path either
         way.
+    fuse:
+        Whether fusable cells of the grid are stacked into cross-cell
+        mega-batch kernels — one fused kernel pass per (engine, fuse key)
+        group instead of one batch call per cell; defaults to
+        ``config.fuse`` and requires batching.  Eligibility is the
+        registry's :func:`~repro.engine.registry.fused_engine_for`;
+        unfusable cells (constant-probability protocols like slotted ALOHA,
+        custom channels or arrivals, factory-only specs on the legacy path)
+        silently fall back to the per-cell batch or per-run path.
     store_dir:
         Optional Session store directory.  When given, every replication is
         persisted there and completed cells are served from the store on
@@ -207,6 +221,7 @@ def run_sweep(
         raise ValueError("run_sweep needs at least one protocol specification")
     effective_workers = config.workers if workers is None else workers
     effective_batch = config.batch if batch is None else batch
+    effective_fuse = config.fuse if fuse is None else fuse
     result = SweepResult(config=config, specs=list(specs))
 
     scenario_cells: list[tuple[ProtocolSpec, int]] = []
@@ -240,7 +255,12 @@ def run_sweep(
     staged: dict[tuple[str, int], SweepCell] = {}
 
     if scenarios:
-        session = Session(store_dir=store_dir, workers=effective_workers, batch=effective_batch)
+        session = Session(
+            store_dir=store_dir,
+            workers=effective_workers,
+            batch=effective_batch,
+            fuse=effective_fuse,
+        )
 
         def session_progress(index: int, _scenario: Scenario, done: int, total: int) -> None:
             spec, k = scenario_cells[index]

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import abc
 import copy
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
 from typing import ClassVar
 
 import numpy as np
@@ -214,6 +214,9 @@ class FairBatchState(abc.ABC):
     def probabilities(self, slot: int) -> np.ndarray:
         """Per-replication transmission probability in (common) ``slot``.
 
+        The returned array is owned by the state and may be a cached buffer
+        reused across slots — callers must treat it as read-only.
+
         Protocols declaring
         :attr:`FairProtocol.probability_constant_between_receptions` must
         ignore ``slot`` (the silence-skipping path advances replications to
@@ -221,13 +224,46 @@ class FairBatchState(abc.ABC):
         passes ``-1``).
         """
 
+    def probabilities_cached(self, slot: int) -> tuple[np.ndarray, object]:
+        """Like :meth:`probabilities`, plus a cache key for derived values.
+
+        The key is a *stable flavor identity*: two slots returning equal keys
+        draw from the same rule of the protocol's schedule (e.g. the AT or BT
+        arm of an alternating schedule), and their probability arrays differ
+        at most at the rows reported changed by the intervening
+        :meth:`observe_receptions` calls.  Engines that derive per-slot
+        arrays from the probabilities (outcome probabilities, classification
+        thresholds) may therefore cache one derivation per key and patch just
+        the reported rows.  ``None`` means "no stable identity, always
+        recompute" and is the default, so plain states keep working
+        unchanged.
+        """
+        return self.probabilities(slot), None
+
     @abc.abstractmethod
-    def observe_receptions(self, slot: int, received: np.ndarray) -> None:
+    def observe_receptions(
+        self,
+        slot: int,
+        received: np.ndarray,
+        received_any: bool | None = None,
+        received_rows: np.ndarray | None = None,
+    ) -> np.ndarray | None:
         """Apply the end-of-slot feedback: ``received`` is a boolean mask.
 
         Mirrors :meth:`Protocol.notify` with ``transmitted=False`` and
         ``delivered=False`` — exactly the observation the per-run fair engine
-        feeds its shared state, slot by slot.
+        feeds its shared state, slot by slot.  ``received_any`` is an optional
+        caller-supplied value of ``received.any()``, and ``received_rows`` an
+        optional value of ``np.flatnonzero(received)`` — engines that already
+        computed them pass them along so the state need not reduce the mask a
+        second time; ``None`` means "unknown, compute it yourself".
+
+        Returns the rows whose *cached-flavor* probability content changed
+        (an empty array when none did), or ``None`` for "unknown — treat
+        every row and flavor as changed".  Engines holding per-key
+        derivations (see :meth:`probabilities_cached`) patch the returned
+        rows and drop everything on ``None``; states that do not track
+        changes simply return ``None``.
         """
 
     @abc.abstractmethod
@@ -279,6 +315,28 @@ class FairProtocol(Protocol):
         implementations must return a state whose evolution matches
         :meth:`transmission_probability` / :meth:`notify` exactly, starting
         from the *initial* (post-:meth:`reset`) state of this instance.
+        """
+        return None
+
+    @classmethod
+    def make_fused_batch_state(
+        cls,
+        protocols: Sequence["FairProtocol"],
+        counts: Sequence[int],
+    ) -> FairBatchState | None:
+        """Return vectorised state for several *fused* cells of this class.
+
+        The mega engine (:class:`~repro.engine.megabatch.MegaFairEngine`)
+        stacks every eligible cell of a sweep along the batch axis;
+        ``protocols[i]`` (an instance of ``cls``, possibly with different
+        constructor parameters) contributes ``counts[i]`` consecutive rows.
+        The returned state must therefore carry the protocol parameters as
+        *per-row* arrays, so that one kernel pass serves rows with different
+        parameterisations.  Rows belonging to one protocol instance must
+        evolve exactly as :meth:`make_batch_state` would evolve them.
+
+        ``None`` (the default) opts the protocol class out of cross-cell
+        fusion; its cells then run one per-cell batch kernel each.
         """
         return None
 
@@ -349,6 +407,25 @@ class WindowedProtocol(Protocol):
         back-off family) qualify and opt in.
         """
         return None
+
+    def fused_schedule_key(self) -> tuple | None:
+        """Hashable identity of the window schedule, for cross-cell fusion.
+
+        Cells whose protocols report equal keys traverse *identical* window
+        schedules and may be simulated in lockstep by the mega window engine
+        (:class:`~repro.engine.megabatch.MegaWindowEngine`), which iterates
+        one shared schedule for the whole fused group.  The default derives
+        the key from the protocol's registry name and its declared public
+        parameters (:meth:`Protocol.describe`), which is exact for every
+        schedule that is a pure function of those parameters; protocols
+        whose schedule depends on state not visible in ``describe()`` must
+        override this.  ``None`` (returned when the protocol has no window
+        batch kernel) opts the cell out of fusion.
+        """
+        if self.make_window_batch_state(1) is None:
+            return None
+        parameters = self.describe()["parameters"]
+        return (self.name, tuple(sorted(parameters.items())))  # type: ignore[union-attr]
 
     def reset(self) -> None:
         self._schedule: Iterator[int] | None = None

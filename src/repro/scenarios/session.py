@@ -9,12 +9,16 @@ repository.  Given a :class:`~repro.scenarios.scenario.Scenario`, it
    replications already on record (re-running a completed scenario costs
    **zero** new simulations);
 2. plans exactly the missing replications as
-   :class:`~repro.experiments.parallel.SimulationUnit` work units — one
-   vectorised batch unit per batch-eligible cell (the registry's
-   :func:`~repro.engine.registry.batch_engine_for` names the batch engine:
+   :class:`~repro.experiments.parallel.SimulationUnit` work units — *fusable*
+   cells (the registry's :func:`~repro.engine.registry.fused_engine_for`
+   names the mega engine) are grouped by fuse key and stacked into **one
+   fused kernel unit per group**, so a whole grid of same-class cells costs
+   a single lockstep kernel pass; batch-eligible cells that cannot fuse get
+   one vectorised batch unit each
+   (:func:`~repro.engine.registry.batch_engine_for`:
    :class:`~repro.engine.batch_engine.BatchFairEngine` for fair cells,
    :class:`~repro.engine.batch_window_engine.BatchWindowEngine` for windowed
-   ones), per-replication units otherwise;
+   ones), and everything else runs as per-replication units;
 3. fans the units out over a
    :class:`~repro.experiments.parallel.ParallelExecutor` (cells across
    processes, replications vectorised within); and
@@ -49,7 +53,12 @@ from pathlib import Path
 from repro.analysis.statistics import RunStatistics, summarize_makespans
 from repro.engine.result import SimulationResult
 from repro.obs import REGISTRY, span
-from repro.experiments.parallel import ParallelExecutor, SimulationUnit, UnitOutcome
+from repro.experiments.parallel import (
+    FusedCell,
+    ParallelExecutor,
+    SimulationUnit,
+    UnitOutcome,
+)
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import StoreBackend, StoredRun, open_store
 
@@ -103,7 +112,9 @@ class _CellPlan:
     arrivals: object
     channel: object
     use_batch: bool
+    use_fused: bool
     expected_engine: str  # name the produced SimulationResult.engine will carry
+    fuse_key: object = None  # set when use_fused: cells sharing it fuse together
 
 
 @dataclass(frozen=True)
@@ -191,7 +202,13 @@ class Session:
         worker count never changes the results.
     batch:
         Whether batch-eligible cells run as one vectorised engine call
-        (default True).  ``False`` replays the historical per-run streams.
+        (default True).  ``False`` replays the historical per-run streams
+        (and disables cross-cell fusion, which is a batched path).
+    fuse:
+        Whether fusable cells of one :meth:`run_all` grid are stacked into
+        cross-cell mega-batch kernels (default True; requires ``batch``).
+        ``False`` falls back to one batch unit per cell.  An explicit
+        ``engine="mega"``/``"mega-window"`` scenario fuses regardless.
     """
 
     def __init__(
@@ -199,10 +216,12 @@ class Session:
         store_dir: str | Path | StoreBackend | None = None,
         workers: int | None = 1,
         batch: bool = True,
+        fuse: bool = True,
     ) -> None:
         self.store = open_store(store_dir) if store_dir is not None else None
         self.workers = workers
         self.batch = batch
+        self.fuse = fuse
         # Serialises this session's store access so one Session instance can
         # be shared by concurrent callers (e.g. service worker threads).
         self._store_lock = threading.Lock()
@@ -234,10 +253,10 @@ class Session:
             and meta.seed == expected_seeds[replication]
             and meta.engine == plan.expected_engine
         }
-        if plan.use_batch:
-            # Same all-or-nothing rule as _usable_cached: a batch cell is
-            # reusable only when it was produced as a batch of exactly this
-            # replication count.
+        if plan.use_batch or plan.use_fused:
+            # Same all-or-nothing rule as _usable_cached: a batch or fused
+            # cell is reusable only when it was produced as a batch of
+            # exactly this replication count.
             usable = {
                 replication
                 for replication in usable
@@ -333,11 +352,30 @@ class Session:
             hashes = [scenario.content_hash() for scenario in scenarios]
             all_seeds = [scenario.seeds() for scenario in scenarios]
             plans = [self._plan(scenario) for scenario in scenarios]
+            # One batched cache probe for the whole grid (a single backend
+            # query on indexed stores), then full result loads only for the
+            # cells the counts say can actually serve: a cell with zero runs
+            # on record — the entire grid on a cold store — never touches
+            # the store again, and batch/fused cells (all-or-nothing reuse)
+            # skip the load unless every replication is on record.
+            if self.store is not None:
+                with self._store_lock:
+                    counts = self.store.cached_counts(scenarios)
+            else:
+                counts = [0] * len(scenarios)
             cached = [
-                self._usable_cached(scenario, plan) for scenario, plan in zip(scenarios, plans)
+                self._usable_cached(scenario, plan)
+                if count > 0
+                and (
+                    not (plan.use_batch or plan.use_fused)
+                    or count >= scenario.replications
+                )
+                else {}
+                for scenario, plan, count in zip(scenarios, plans, counts)
             ]
 
             units: list[SimulationUnit] = []
+            fused_groups: dict[tuple, list[FusedCell]] = {}
             done_count = [0] * len(scenarios)
             for index, scenario in enumerate(scenarios):
                 missing = [
@@ -349,11 +387,38 @@ class Session:
                 if progress is not None:
                     for step in range(done_count[index]):
                         progress(index, scenario, step + 1, scenario.replications)
-                if missing:
-                    units.extend(
-                        self._plan_units(index, scenario, plans[index], all_seeds[index], missing)
+                if not missing:
+                    continue
+                plan = plans[index]
+                if plan.use_fused:
+                    # Stack this cell onto its fusion group; the groups
+                    # become single kernel units after the scan.
+                    _M_CELLS.labels(mode="fused").inc()
+                    seeds = all_seeds[index]
+                    cell = FusedCell(
+                        protocol=plan.protocol,
+                        k=scenario.k,
+                        seeds=tuple(seeds[replication] for replication in missing),
+                        max_slots=scenario.max_slots(),
+                        tag=(index, tuple(missing)),
                     )
+                    group = (plan.expected_engine, plan.fuse_key)
+                    fused_groups.setdefault(group, []).append(cell)
+                    continue
+                units.extend(
+                    self._plan_units(index, scenario, plan, all_seeds[index], missing)
+                )
+            for (engine_name, _), cells in fused_groups.items():
+                units.append(
+                    SimulationUnit(
+                        protocol=cells[0].protocol,
+                        k=cells[0].k,
+                        engine=engine_name,
+                        cells=tuple(cells),
+                    )
+                )
             plan_span["units"] = len(units)
+            plan_span["fused_groups"] = len(fused_groups)
             plan_span["cached_replications"] = sum(done_count)
         _M_REPL_CACHED.inc(sum(done_count))
 
@@ -362,9 +427,11 @@ class Session:
         # record and the next invocation resumes from there.
         fresh: list[dict[int, StoredRun]] = [{} for _ in scenarios]
 
-        def unit_progress(outcome: UnitOutcome) -> None:
-            index, replications = outcome.tag
-            per_run_elapsed = outcome.elapsed_seconds / max(len(outcome.results), 1)
+        def record_cell(
+            tag: object, results: Sequence[SimulationResult], elapsed_seconds: float
+        ) -> None:
+            index, replications = tag
+            per_run_elapsed = elapsed_seconds / max(len(results), 1)
             runs = [
                 StoredRun(
                     replication=replication,
@@ -372,7 +439,7 @@ class Session:
                     elapsed_seconds=per_run_elapsed,
                     result=result,
                 )
-                for replication, result in zip(replications, outcome.results)
+                for replication, result in zip(replications, results)
             ]
             for run in runs:
                 fresh[index][run.replication] = run
@@ -389,6 +456,20 @@ class Session:
                         done_count[index],
                         scenarios[index].replications,
                     )
+
+        def unit_progress(outcome: UnitOutcome) -> None:
+            if outcome.cells is not None:
+                # A fused group: scatter the kernel's results back to the
+                # member cells, each persisted under its own scenario hash
+                # with its apportioned share of the kernel's wall clock.
+                for cell_outcome in outcome.cells:
+                    record_cell(
+                        cell_outcome.tag,
+                        cell_outcome.results,
+                        cell_outcome.elapsed_seconds,
+                    )
+                return
+            record_cell(outcome.tag, outcome.results, outcome.elapsed_seconds)
 
         ParallelExecutor(workers=self.workers).run(units, progress=unit_progress)
 
@@ -429,13 +510,16 @@ class Session:
             if replication < scenario.replications
             and run.result.engine == plan.expected_engine
         }
-        if plan.use_batch:
+        if plan.use_batch or plan.use_fused:
             # A batch cell's results depend on the whole batch composition
             # (one interleaved stream per batch-engine call, fair and
             # windowed alike), so stored runs are reusable only when they
             # come from the same engine and a batch of exactly this
             # replication count — anything else is recomputed in full so a
-            # resumed run is bit-identical to a fresh one.
+            # resumed run is bit-identical to a fresh one.  Fused cells
+            # follow the same rule: their per-cell streams make the results
+            # independent of the *group* composition, but not of the
+            # replication count within the cell.
             usable = {
                 replication: run
                 for replication, run in usable.items()
@@ -448,24 +532,49 @@ class Session:
     def _plan(self, scenario: Scenario) -> "_CellPlan":
         """Resolve a scenario's components and the engine this session will use.
 
-        Batch eligibility and engine selection are both registry queries
-        (:func:`~repro.engine.registry.batch_engine_for` /
-        :func:`~repro.engine.registry.pick_engine_name`) — the same single
-        predicate the sweep runner and the ``simulate_batch`` front door use,
-        so the three layers cannot disagree about a cell's engine.
+        Fusion, batch eligibility and engine selection are all registry
+        queries (:func:`~repro.engine.registry.fused_engine_for` /
+        :func:`~repro.engine.registry.batch_engine_for` /
+        :func:`~repro.engine.registry.pick_engine_name`) — the same
+        predicates the sweep runner and the engine front doors use, so the
+        layers cannot disagree about a cell's engine.
         """
-        from repro.engine.registry import batch_engine_for, pick_engine_name
+        from repro.engine.registry import (
+            batch_engine_for,
+            engine_class,
+            fused_engine_for,
+            pick_engine_name,
+        )
 
         protocol = scenario.build_protocol()
         arrivals = scenario.build_arrivals()
         channel = scenario.build_channel()
+        # Fusion supersedes per-cell batching: a fusable cell always routes
+        # to the mega engine when this session fuses (even when it ends up
+        # alone in its group), so a cell's expected engine is a deterministic
+        # function of the scenario and the session settings — resumed sweeps
+        # look for cached runs under the same engine they would write.
+        fused_engine = fused_engine_for(
+            protocol, engine=scenario.engine, channel=channel, arrivals=arrivals
+        )
+        use_fused = fused_engine is not None and (
+            (self.batch and self.fuse) or scenario.engine == fused_engine
+        )
         batch_engine = batch_engine_for(
             protocol, engine=scenario.engine, channel=channel, arrivals=arrivals
         )
         # An explicitly selected batch engine always batches; "auto" batches
         # only when this session says so.
-        use_batch = batch_engine is not None and (self.batch or scenario.engine == batch_engine)
-        if use_batch:
+        use_batch = (
+            not use_fused
+            and batch_engine is not None
+            and (self.batch or scenario.engine == batch_engine)
+        )
+        fuse_key = None
+        if use_fused:
+            expected_engine = fused_engine
+            fuse_key = engine_class(fused_engine).fuse_key(protocol)
+        elif use_batch:
             expected_engine = batch_engine
         else:
             expected_engine = pick_engine_name(
@@ -476,7 +585,9 @@ class Session:
             arrivals=arrivals,
             channel=channel,
             use_batch=use_batch,
+            use_fused=use_fused,
             expected_engine=expected_engine,
+            fuse_key=fuse_key,
         )
 
     def _plan_units(

@@ -283,6 +283,15 @@ class StoreBackend(ABC):
             if replication < scenario.replications and meta.seed == expected[replication]
         )
 
+    def cached_counts(self, scenarios: Sequence[Scenario]) -> list[int]:
+        """:meth:`cached_count` for a whole grid, in input order.
+
+        The session's sweep planner probes every cell of a grid before
+        loading anything; indexed backends override this with **one** query
+        for all hashes instead of one round trip per cell.
+        """
+        return [self.cached_count(scenario) for scenario in scenarios]
+
     def summaries(self) -> list[StoreRecord]:
         """One :class:`StoreRecord` per scenario on record (sorted by hash)."""
         records = []

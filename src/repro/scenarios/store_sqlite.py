@@ -254,6 +254,46 @@ class SqliteStore(StoreBackend):
         finally:
             _M_PROBE.labels(backend=self.name).observe(time.monotonic() - started)
 
+    def cached_counts(self, scenarios: Sequence[Scenario]) -> list[int]:
+        """One ``WHERE hash IN (...)`` query for a whole grid of cells.
+
+        Same over-counting caveat as :meth:`cached_count`; only cells whose
+        record holds *more* replications than requested fall back to the
+        per-cell range count (rare: it means the store was written by a
+        larger sweep than the one probing).
+        """
+        if not scenarios:
+            return []
+        started = time.monotonic()
+        try:
+            hashes = [scenario.content_hash() for scenario in scenarios]
+            placeholders = ",".join("?" * len(set(hashes)))
+            rows = self._connection().execute(
+                f"SELECT hash, run_count, max_replication FROM scenarios "
+                f"WHERE hash IN ({placeholders})",
+                sorted(set(hashes)),
+            ).fetchall()
+            on_record = {row[0]: (row[1], row[2]) for row in rows}
+            counts = []
+            for scenario, content_hash in zip(scenarios, hashes):
+                row = on_record.get(content_hash)
+                if row is None:
+                    counts.append(0)
+                    continue
+                run_count, max_replication = row
+                if max_replication < scenario.replications:
+                    counts.append(run_count)
+                    continue
+                counts.append(
+                    self._connection().execute(
+                        "SELECT COUNT(*) FROM runs WHERE hash = ? AND replication < ?",
+                        (content_hash, scenario.replications),
+                    ).fetchone()[0]
+                )
+            return counts
+        finally:
+            _M_PROBE.labels(backend=self.name).observe(time.monotonic() - started)
+
     def scenarios_on_record(self) -> list[Scenario]:
         rows = self._connection().execute(
             "SELECT scenario_json FROM scenarios ORDER BY hash"

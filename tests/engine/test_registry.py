@@ -22,6 +22,7 @@ from repro.engine.registry import (
     EngineRegistry,
     available_engines,
     batch_engine_for,
+    fused_engine_for,
     engine_capabilities,
     engine_class,
     engine_names,
@@ -40,7 +41,8 @@ CD_CHANNEL = ChannelModel(feedback=FeedbackModel.COLLISION_DETECTION)
 class TestRegistryContents:
     def test_available_engines_roster(self):
         assert available_engines() == [
-            "auto", "batch", "batch-window", "fair", "slot", "window",
+            "auto", "batch", "batch-window", "fair", "mega", "mega-window",
+            "slot", "window",
         ]
 
     def test_every_engine_declares_capabilities(self):
@@ -186,11 +188,12 @@ class TestLayersAgreeForEveryRegisteredProtocol:
                             channel=channel_spec, max_slots_factor=100)
         protocol = scenario.build_protocol()
         channel = scenario.build_channel()
+        predicted_fused = fused_engine_for(protocol, channel=channel)
         predicted_batch = batch_engine_for(protocol, channel=channel)
         predicted_per_run = pick_engine_name(protocol, channel=channel)
 
         batched_session = Session().run(scenario)
-        expected_batched = predicted_batch if predicted_batch is not None else predicted_per_run
+        expected_batched = predicted_fused or predicted_batch or predicted_per_run
         assert batched_session.engine_used == expected_batched
 
         per_run_session = Session(batch=False).run(scenario)

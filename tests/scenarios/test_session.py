@@ -24,11 +24,14 @@ class TestSessionExecution:
         assert [result.seed for result in result_set.results] == list(result_set.seeds)
 
     def test_batch_routing_for_eligible_cells(self):
-        assert Session().run(scenario()).engine_used == "batch"
+        assert Session().run(scenario()).engine_used == "mega"
+        assert Session(fuse=False).run(scenario()).engine_used == "batch"
         assert Session(batch=False).run(scenario()).engine_used == "fair"
 
     def test_windowed_protocol_batch_routing(self):
         result_set = Session().run(scenario("exp-backon-backoff k=60 reps=2 seed=7"))
+        assert result_set.engine_used == "mega-window"
+        result_set = Session(fuse=False).run(scenario("exp-backon-backoff k=60 reps=2 seed=7"))
         assert result_set.engine_used == "batch-window"
         result_set = Session(batch=False).run(scenario("exp-backon-backoff k=60 reps=2 seed=7"))
         assert result_set.engine_used == "window"
@@ -63,7 +66,7 @@ class TestSessionExecution:
         payload = Session().run(scenario()).to_dict()
         assert payload["new_runs"] == 3
         assert payload["cached_runs"] == 0
-        assert payload["engine"] == "batch"
+        assert payload["engine"] == "mega"
         assert len(payload["results"]) == 3
         assert payload["hash"] == scenario().content_hash()
         json.dumps(payload)  # must be JSON-serialisable as-is
@@ -177,7 +180,7 @@ class TestSessionStore:
             scenario().replace(replications=5)
         )
         assert batched.cached_runs == 0 and batched.new_runs == 5
-        assert {result.engine for result in batched.results} == {"batch"}
+        assert {result.engine for result in batched.results} == {"mega"}
         fresh_batched = Session(batch=True).run(scenario().replace(replications=5))
         assert batched.makespans == fresh_batched.makespans
         # Flipping back serves the per-run records written first... or
